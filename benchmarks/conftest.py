@@ -1,0 +1,29 @@
+"""Benchmark fixtures.
+
+The benchmarks regenerate every paper artefact at a benchmark-friendly
+scale (quick mode for the heavy multi-workload sweeps, full scale for the
+analytic ones) and attach the headline measurements as ``extra_info`` so the
+pytest-benchmark table doubles as a results summary.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.common import ExperimentConfig, get_database
+
+
+@pytest.fixture(scope="session")
+def quick_cfg() -> ExperimentConfig:
+    return ExperimentConfig(quick=True)
+
+
+@pytest.fixture(scope="session")
+def full_cfg() -> ExperimentConfig:
+    return ExperimentConfig()
+
+
+@pytest.fixture(scope="session", autouse=True)
+def primed_database():
+    """Build (or load) the shared database once, outside any timing loop."""
+    return get_database(4, 2020)

@@ -1,0 +1,22 @@
+"""Fig. 2 benchmark: two-core scenario study with perfect models."""
+
+from repro.experiments.runner import run_experiment
+
+
+def test_bench_fig2(benchmark, quick_cfg):
+    result = benchmark.pedantic(
+        run_experiment, args=("fig2", quick_cfg), rounds=1, iterations=1
+    )
+    s = result.data["savings"]
+    for scenario in (1, 2, 3, 4):
+        benchmark.extra_info[f"S{scenario}"] = (
+            f"RM1={100 * s[scenario]['rm1']:.1f}% "
+            f"RM2={100 * s[scenario]['rm2']:.1f}% "
+            f"RM3={100 * s[scenario]['rm3']:.1f}%"
+        )
+    benchmark.extra_info["paper_shape"] = (
+        "S1: RM3>>RM2 | S2: RM2~RM3(~5%) | S3: RM3 only (~11%) | S4: ~0"
+    )
+    assert s[1]["rm3"] > s[1]["rm2"]
+    assert s[3]["rm2"] < 0.01 < s[3]["rm3"]
+    assert abs(s[4]["rm3"]) < 0.02

@@ -1,0 +1,28 @@
+"""Fig. 6 benchmark: RM1/RM2/RM3 energy savings over scenario workloads.
+
+Runs the quick profile (two workloads per scenario, 4-core, shortened
+horizon); the full-scale sweep is ``python -m repro fig6``.
+"""
+
+from repro.experiments.runner import run_experiment
+from repro.simulator.metrics import weighted_scenario_average
+from repro.workloads.scenarios import PAPER_SCENARIO_WEIGHTS
+
+
+def test_bench_fig6(benchmark, quick_cfg):
+    result = benchmark.pedantic(
+        run_experiment, args=("fig6", quick_cfg), rounds=1, iterations=1
+    )
+    summary = result.data["summary"][4]
+    for kind in ("rm1", "rm2", "rm3"):
+        weighted = weighted_scenario_average(
+            summary[kind], dict(PAPER_SCENARIO_WEIGHTS)
+        )
+        flat = [v for vs in summary[kind].values() for v in vs]
+        benchmark.extra_info[kind.upper()] = (
+            f"weighted {100 * weighted:.1f}% max {100 * max(flat):.1f}%"
+        )
+    benchmark.extra_info["paper"] = "RM3: up to ~18%, ~10% weighted average"
+    rm3 = weighted_scenario_average(summary["rm3"], dict(PAPER_SCENARIO_WEIGHTS))
+    rm2 = weighted_scenario_average(summary["rm2"], dict(PAPER_SCENARIO_WEIGHTS))
+    assert rm3 > rm2 > 0

@@ -1,0 +1,37 @@
+"""Fig. 7 / Fig. 8 benchmarks: the QoS-violation study at full scale."""
+
+from repro.experiments.runner import run_experiment
+
+
+def test_bench_fig7(benchmark, full_cfg):
+    result = benchmark.pedantic(
+        run_experiment, args=("fig7", full_cfg), rounds=1, iterations=1
+    )
+    red = result.data["reductions"]
+    r = result.data["results"]
+    for m in ("Model1", "Model2", "Model3"):
+        benchmark.extra_info[m] = (
+            f"P={100 * r[m].probability:.2f}% EV={100 * r[m].expected_value:.1f}% "
+            f"std={100 * r[m].std:.1f}%"
+        )
+    benchmark.extra_info["reductions_vs_paper"] = (
+        f"P/M1 {100 * red['probability_vs_model1']:.0f}% (46%), "
+        f"P/M2 {100 * red['probability_vs_model2']:.0f}% (32%), "
+        f"EV/M2 {100 * red['ev_vs_model2']:.0f}% (49%), "
+        f"std/M2 {100 * red['std_vs_model2']:.0f}% (26%)"
+    )
+    assert red["probability_vs_model1"] > 0.4
+    assert red["std_vs_model2"] > 0.0
+
+
+def test_bench_fig8(benchmark, full_cfg):
+    result = benchmark.pedantic(
+        run_experiment, args=("fig8", full_cfg), rounds=1, iterations=1
+    )
+    tails = result.data["tails"]
+    peak = max(tails.values())
+    benchmark.extra_info["tail_mass_normalised"] = ", ".join(
+        f"{m}: {tails[m] / peak:.2f}" for m in ("Model1", "Model2", "Model3")
+    )
+    benchmark.extra_info["paper_shape"] = "Model3 tail (latency) reduced significantly"
+    assert tails["Model3"] < 0.25 * tails["Model2"]

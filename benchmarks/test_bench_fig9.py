@@ -1,0 +1,19 @@
+"""Fig. 9 benchmark: RM3 energy savings under each performance model."""
+
+from repro.experiments.runner import run_experiment
+
+
+def test_bench_fig9(benchmark, quick_cfg):
+    result = benchmark.pedantic(
+        run_experiment, args=("fig9", quick_cfg), rounds=1, iterations=1
+    )
+    per_model = result.data["summary"][4]
+    mean = lambda m: sum(per_model[m]) / len(per_model[m])  # noqa: E731
+    for m in ("Model1", "Model2", "Model3", "Perfect"):
+        benchmark.extra_info[m] = f"{100 * mean(m):.1f}%"
+    benchmark.extra_info["paper_shape"] = (
+        "Model3 savings closest to the perfect-model envelope"
+    )
+    gap3 = abs(mean("Perfect") - mean("Model3"))
+    gap1 = abs(mean("Perfect") - mean("Model1"))
+    assert gap3 <= gap1 + 0.01

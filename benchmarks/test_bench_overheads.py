@@ -1,0 +1,18 @@
+"""Section III-E benchmark: RM overhead scaling versus the paper's counts."""
+
+from repro.experiments.runner import run_experiment
+
+
+def test_bench_overheads(benchmark, quick_cfg):
+    result = benchmark.pedantic(
+        run_experiment, args=("overheads", quick_cfg), rounds=1, iterations=1
+    )
+    data = result.data
+    for kind, label in (("rm2", "RM2"), ("rm3", "RM3")):
+        measured = [round(data[(kind, n)]["instructions"] / 1000) for n in (2, 4, 8)]
+        paper = [data[(kind, n)]["paper_instructions"] // 1000 for n in (2, 4, 8)]
+        benchmark.extra_info[label] = f"est {measured}K vs paper {paper}K"
+    for n in (2, 4, 8):
+        est = data[("rm3", n)]["instructions"]
+        paper = data[("rm3", n)]["paper_instructions"]
+        assert abs(est - paper) / paper < 0.2

@@ -1,0 +1,85 @@
+"""Substrate micro-benchmarks: the hot paths of the library.
+
+These time the pieces that dominate a database build or an RM invocation,
+so performance regressions in the substrate are visible independently of
+the experiment-level benchmarks.
+"""
+
+import numpy as np
+
+from repro.atd.atd import AuxiliaryTagDirectory
+from repro.config import ScaleConfig, default_system
+from repro.core.energy_curve import EnergyCurve
+from repro.core.energy_model import OnlineEnergyModel
+from repro.core.global_opt import partition_ways
+from repro.core.local_opt import RMCapabilities, optimize_local
+from repro.core.perf_models import Model3, ModelInputs
+from repro.database.builder import build_phase_record
+from repro.microarch.leading import leading_miss_matrix
+from repro.power.model import PowerModel
+from repro.trace.generator import PhaseTraceGenerator
+from repro.trace.reuse import cliff_profile
+from repro.trace.spec import PhaseSpec, uniform_ipc
+
+
+def _phase():
+    return PhaseSpec(
+        name="bench",
+        reuse=cliff_profile(9.0, 2.5, 0.1),
+        llc_apki=20.0,
+        chain_frac=0.1,
+        burst_len=10.0,
+        intra_gap_frac=0.3,
+        ipc=uniform_ipc(1.2, 1.7, 2.2),
+    )
+
+
+def test_bench_trace_generation(benchmark):
+    gen = PhaseTraceGenerator(ScaleConfig(sample_llc_accesses=8192))
+    trace = benchmark(gen.generate, _phase(), 42)
+    assert trace.stream.n_accesses == 8192
+
+
+def test_bench_atd_process(benchmark):
+    gen = PhaseTraceGenerator(ScaleConfig(sample_llc_accesses=8192))
+    trace = gen.generate(_phase(), 42)
+
+    def process():
+        atd = AuxiliaryTagDirectory(gen.n_sets)
+        return atd.process(trace.stream, scale=trace.sample_scale)
+
+    report = benchmark(process)
+    assert report.miss_curve.shape == (16,)
+
+
+def test_bench_leading_miss_oracle(benchmark):
+    gen = PhaseTraceGenerator(ScaleConfig(sample_llc_accesses=8192))
+    trace = gen.generate(_phase(), 42)
+    matrix = benchmark(leading_miss_matrix, trace.stream)
+    assert matrix.shape == (3, 16)
+
+
+def test_bench_phase_record_build(benchmark):
+    system = default_system(4)
+    record = benchmark(build_phase_record, _phase(), "bench", system, 42)
+    assert record.time_grid.shape == (3, 10, 16)
+
+
+def test_bench_local_optimisation(benchmark):
+    system = default_system(4)
+    record = build_phase_record(_phase(), "bench", system, 42)
+    base = system.baseline_setting()
+    inputs = ModelInputs(counters=record.counters_at(base), atd=record.atd_report())
+    em = OnlineEnergyModel(PowerModel(system.power, system.dvfs, system.memory))
+    caps = RMCapabilities(adapt_frequency=True, adapt_core=True)
+    result = benchmark(
+        optimize_local, inputs, Model3(), em, system, caps
+    )
+    assert result.evaluations == 450
+
+
+def test_bench_global_reduction_8core(benchmark):
+    rng = np.random.default_rng(0)
+    curves = [EnergyCurve(np.arange(2, 17), rng.random(15)) for _ in range(8)]
+    result = benchmark(partition_ways, curves, 64)
+    assert sum(result.ways) == 64

@@ -1,0 +1,32 @@
+"""Benchmarks for Table I, Table II and Fig. 1 (analytic artefacts)."""
+
+import pytest
+
+from repro.experiments.runner import run_experiment
+
+
+def test_bench_table1(benchmark, quick_cfg):
+    result = benchmark(run_experiment, "table1", quick_cfg)
+    assert "core L" in result.rendered()
+
+
+def test_bench_table2(benchmark, quick_cfg):
+    result = benchmark.pedantic(
+        run_experiment, args=("table2", quick_cfg), rounds=1, iterations=1
+    )
+    matches = 27 - len(result.data["mismatches"])
+    benchmark.extra_info["categories_matching_paper"] = f"{matches}/27"
+    assert matches == 27
+
+
+def test_bench_fig1(benchmark, quick_cfg):
+    result = benchmark.pedantic(
+        run_experiment, args=("fig1", quick_cfg), rounds=1, iterations=1
+    )
+    w = result.data["weights"]
+    benchmark.extra_info["scenario_weights"] = (
+        f"S1={100 * w[1]:.1f}% S2={100 * w[2]:.1f}% "
+        f"S3={100 * w[3]:.1f}% S4={100 * w[4]:.1f}%"
+    )
+    benchmark.extra_info["paper"] = "S1=47.0% S2=22.1% S3=22.1% S4=8.8%"
+    assert w[1] == pytest.approx(0.47, abs=0.005)

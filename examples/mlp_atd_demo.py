@@ -1,0 +1,92 @@
+"""The MLP-ATD mechanism, from Fig. 4's worked example to a real trace.
+
+Part 1 replays the paper's exact four-load example through the
+leading-miss counter array and prints each decision.
+
+Part 2 runs a full synthetic phase through the ATD and compares the
+heuristic's leading-miss counts against the dependence-aware oracle for
+every core size.
+
+Run:  python examples/mlp_atd_demo.py
+"""
+
+import numpy as np
+
+from repro.atd.atd import AuxiliaryTagDirectory
+from repro.atd.mlp import MLPCounterArray
+from repro.config import ScaleConfig
+from repro.microarch.leading import leading_miss_matrix
+from repro.trace.generator import PhaseTraceGenerator
+from repro.trace.reuse import cliff_profile
+from repro.trace.spec import PhaseSpec, uniform_ipc
+from repro.util.tables import format_table
+
+
+def worked_example() -> None:
+    print("=== Fig. 4 worked example " + "=" * 40)
+    print("loads arrive at the ATD as LD1(5), LD3(33), LD2(20), LD4(90);")
+    print("LD2 depends on LD1 and arrived out of order.\n")
+    rows = []
+    for rob, label in ((64, "S core (ROB 64)"), (128, "M core (ROB 128)")):
+        counters = MLPCounterArray(rob_sizes=[rob], max_ways=1)
+        decisions = []
+        last = 0
+        for name, inst in (("LD1", 5), ("LD3", 33), ("LD2", 20), ("LD4", 90)):
+            counters.observe(inst, predicted_miss_ways=1)
+            lm = int(counters.snapshot().leading_misses[0, 0])
+            decisions.append(f"{name}:{'LM' if lm > last else 'OV'}")
+            last = lm
+        rows.append([label, "  ".join(decisions), last])
+    print(format_table(["core", "decisions", "leading misses"], rows))
+    print("\nThe paper's expected counts: S core -> 3, M core -> 2.\n")
+
+
+def real_trace() -> None:
+    print("=== heuristic vs oracle on a full phase " + "=" * 26)
+    gen = PhaseTraceGenerator(ScaleConfig(sample_llc_accesses=8192))
+    phase = PhaseSpec(
+        name="demo",
+        reuse=cliff_profile(9.0, 2.5, 0.1),
+        llc_apki=22.0,
+        chain_frac=0.15,
+        burst_len=10.0,
+        intra_gap_frac=0.3,
+        ipc=uniform_ipc(1.2, 1.7, 2.2),
+    )
+    trace = gen.generate(phase, seed=42)
+    oracle = leading_miss_matrix(trace.stream)
+    report = AuxiliaryTagDirectory(gen.n_sets).process(trace.stream)
+    misses = trace.stream.miss_counts()
+
+    rows = []
+    for c, name in enumerate(("S", "M", "L")):
+        for w in (4, 8, 12):
+            est = report.mlp.leading_misses[c, w - 1]
+            act = oracle[c, w - 1]
+            mlp = misses[w - 1] / max(act, 1)
+            rows.append(
+                [
+                    f"{name} core, {w} ways",
+                    int(act),
+                    int(est),
+                    f"{100 * (est - act) / max(act, 1):+.1f}%",
+                    f"{mlp:.2f}",
+                ]
+            )
+    print(
+        format_table(
+            ["configuration", "oracle LM", "ATD estimate", "error", "true MLP"],
+            rows,
+        )
+    )
+    print(
+        "\nMLP grows with the ROB (S -> L) because wider windows overlap "
+        "more of the\nindependent miss bursts; the heuristic tracks the "
+        "oracle within a few percent\nusing only arrival order — no "
+        "dependence information crosses to the ATD."
+    )
+
+
+if __name__ == "__main__":
+    worked_example()
+    real_trace()

@@ -1,0 +1,11 @@
+"""Setup shim for offline editable installs.
+
+The execution environment has no network access and no ``wheel`` package,
+so PEP 517 editable builds fail; ``pip install -e . --no-use-pep517`` (or a
+plain ``python setup.py develop``) uses this legacy path instead.  All
+metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

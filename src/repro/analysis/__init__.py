@@ -1,0 +1,20 @@
+"""Analysis: the Fig. 1 trade-off matrix, the QoS-violation statistics and
+per-component model-error decomposition."""
+
+from repro.analysis.tradeoffs import TradeoffCell, tradeoff_matrix
+from repro.analysis.stats import (
+    QoSStudyResult,
+    ViolationHistogram,
+    qos_violation_study,
+)
+from repro.analysis.model_error import ErrorDecomposition, decompose_error
+
+__all__ = [
+    "TradeoffCell",
+    "tradeoff_matrix",
+    "QoSStudyResult",
+    "ViolationHistogram",
+    "qos_violation_study",
+    "ErrorDecomposition",
+    "decompose_error",
+]

@@ -1,0 +1,115 @@
+"""The Fig. 1 trade-off matrix.
+
+For every unordered pair of application categories the paper tabulates the
+resource moves each RM can make without violating QoS, the probability of
+the mix (from the Table II category counts), and the scenario grouping.  The
+action encodings below transcribe the paper's cells:
+
+``w1->w2``  redistribute LLC ways from application 1 to application 2,
+``f+``/``f-``  raise/lower the core's VF (``f--`` = lower further),
+``c+``      grow the core micro-architecture.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Mapping, Tuple
+
+from repro.workloads.categories import Category
+from repro.workloads.scenarios import (
+    cell_probability_table,
+    scenario_of_pair,
+)
+
+__all__ = ["TradeoffCell", "tradeoff_matrix"]
+
+_NE = "not effective"
+
+#: Transcription of Fig. 1's upper-triangle cells:
+#: pair -> (RM1 actions, RM2 actions, RM3 actions).
+_ACTIONS: Mapping[FrozenSet[Category], Tuple[str, str, str]] = {
+    frozenset({Category.CI_PI}): (_NE, _NE, "limited effect: c2+ f2-"),
+    frozenset({Category.CI_PI, Category.CI_PS}): (_NE, _NE, "c2+ f2-"),
+    frozenset({Category.CI_PI, Category.CS_PI}): ("w1->w2", "w1->w2 f2-", "w1->w2 f2-"),
+    frozenset({Category.CI_PI, Category.CS_PS}): (
+        "w1->w2",
+        "w1->w2 f2-",
+        "w1->w2 f2-- c2+",
+    ),
+    frozenset({Category.CI_PS}): (_NE, _NE, "c1+ f1- ; c2+ f2-"),
+    frozenset({Category.CI_PS, Category.CS_PI}): (
+        "w1->w2",
+        "w1->w2 f2-",
+        "c1+ f1- w1->w2 f2-",
+    ),
+    frozenset({Category.CI_PS, Category.CS_PS}): (
+        "w1->w2",
+        "w1->w2 f2-",
+        "c1+ f1- w1->w2 f2-- c2+",
+    ),
+    frozenset({Category.CS_PI}): (
+        _NE,
+        "f1+ w1->w2 f2- | f1- w1<-w2 f2+",
+        "f1+ w1->w2 f2- | f1- w1<-w2 f2+",
+    ),
+    frozenset({Category.CS_PI, Category.CS_PS}): (
+        _NE,
+        "f1+ w1->w2 f2- | f1- w1<-w2 f2+",
+        "f1- w1<-w2 f2-- c2+",
+    ),
+    frozenset({Category.CS_PS}): (
+        _NE,
+        "f1+ w1->w2 f2- | f1- w1<-w2 f2+",
+        "c1+ f1-- w1->w2 f2-- c2+ | c1+ f1-- w1<-w2 f2- c2+",
+    ),
+}
+
+
+@dataclass(frozen=True)
+class TradeoffCell:
+    """One upper-triangle cell of Fig. 1."""
+
+    pair: FrozenSet[Category]
+    probability: float
+    scenario: int
+    rm1: str
+    rm2: str
+    rm3: str
+
+    @property
+    def label(self) -> str:
+        cats = sorted(self.pair, key=lambda c: c.value)
+        if len(cats) == 1:
+            cats = cats * 2
+        return f"{cats[0].value} x {cats[1].value}"
+
+    @property
+    def rm3_helps_over_rm2(self) -> bool:
+        """Whether RM3's action set strictly extends RM2's.
+
+        The paper's "12 out of 16 mixes" count excludes the CI-PI x CI-PI
+        cell, whose extra RM3 action is marked *limited effect*.
+        """
+        return self.rm3 != self.rm2 and not self.rm3.startswith("limited")
+
+
+def tradeoff_matrix(counts: Dict[Category, int]) -> List[TradeoffCell]:
+    """Build all ten cells from category counts (sorted by probability)."""
+    cells = cell_probability_table(counts)
+    rows: List[TradeoffCell] = []
+    for pair, prob in cells.items():
+        members = sorted(pair, key=lambda c: c.value)
+        a, b = (members * 2)[:2]
+        actions = _ACTIONS[pair]
+        rows.append(
+            TradeoffCell(
+                pair=pair,
+                probability=prob,
+                scenario=scenario_of_pair(a, b),
+                rm1=actions[0],
+                rm2=actions[1],
+                rm3=actions[2],
+            )
+        )
+    rows.sort(key=lambda r: (-r.probability, r.label))
+    return rows

@@ -1,0 +1,26 @@
+"""Auxiliary Tag Directory (ATD) and the paper's MLP extension.
+
+The ATD (Qureshi & Patt, MICRO'06) shadows the LLC tags for one core at the
+full monitored associativity and records the recency position of every
+access, yielding the miss count for *every* candidate allocation in a
+single pass.  The paper (Section III-C, Fig. 4) extends it with per
+(core-size, allocation) **leading-miss counters** driven by a two-register
+arrival-order heuristic, providing the MLP-aware memory-stall estimate that
+Model3 needs.
+
+``repro.atd.atd``     — tag-array replay (arrival order, optional set sampling)
+``repro.atd.monitor`` — UMON-style recency histogram / miss curves
+``repro.atd.mlp``     — the Fig. 4 leading-miss counter array
+"""
+
+from repro.atd.atd import ATDReport, AuxiliaryTagDirectory
+from repro.atd.monitor import RecencyMonitor
+from repro.atd.mlp import MLPCounterArray, MLPEstimate
+
+__all__ = [
+    "AuxiliaryTagDirectory",
+    "ATDReport",
+    "RecencyMonitor",
+    "MLPCounterArray",
+    "MLPEstimate",
+]

@@ -1,0 +1,79 @@
+"""A single LRU recency stack.
+
+This is the basic building block of both the main tag directory and the
+Auxiliary Tag Directory: a bounded most-recently-used-first list of line
+tags whose *lookup position* is the recency (stack distance) used everywhere
+in the paper — an access at recency ``r`` hits in any allocation of at least
+``r`` ways.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional
+
+from repro.trace.stream import FRESH
+
+__all__ = ["LRUStack"]
+
+
+class LRUStack:
+    """Bounded LRU stack over hashable tags.
+
+    Parameters
+    ----------
+    depth:
+        Maximum number of tags retained (the full associativity monitored,
+        16 in the paper's configuration).
+    initial:
+        Optional warm-up contents, most-recently-used first.
+    """
+
+    __slots__ = ("depth", "_stack")
+
+    def __init__(self, depth: int, initial: Optional[Iterable[int]] = None):
+        if depth < 1:
+            raise ValueError("depth must be >= 1")
+        self.depth = depth
+        self._stack: List[int] = []
+        if initial is not None:
+            for tag in initial:
+                self._stack.append(tag)
+            if len(self._stack) > depth:
+                raise ValueError("initial contents exceed stack depth")
+            if len(set(self._stack)) != len(self._stack):
+                raise ValueError("initial contents contain duplicate tags")
+
+    def __len__(self) -> int:
+        return len(self._stack)
+
+    def __contains__(self, tag: int) -> bool:
+        return tag in self._stack
+
+    def contents(self) -> List[int]:
+        """Snapshot of tags, most-recently-used first."""
+        return list(self._stack)
+
+    def access(self, tag: int) -> int:
+        """Touch ``tag``; return its recency (1-based) or ``FRESH`` on miss.
+
+        On a hit the tag moves to the MRU position; on a miss it is inserted
+        at MRU and the LRU entry is evicted if the stack is full.
+        """
+        stack = self._stack
+        try:
+            pos = stack.index(tag)
+        except ValueError:
+            stack.insert(0, tag)
+            if len(stack) > self.depth:
+                stack.pop()
+            return FRESH
+        stack.pop(pos)
+        stack.insert(0, tag)
+        return pos + 1
+
+    def peek_recency(self, tag: int) -> int:
+        """Recency of ``tag`` without touching the stack (FRESH if absent)."""
+        try:
+            return self._stack.index(tag) + 1
+        except ValueError:
+            return FRESH

@@ -1,0 +1,154 @@
+"""LLC way-partition bitmask bookkeeping.
+
+The RM's global optimiser produces a per-core way *count*; hardware enforces
+it through per-core way bitmasks ("LLC Partitioning Bit-masks" in Fig. 3,
+Intel CAT style).  :class:`WayPartition` owns the mapping between counts and
+non-overlapping masks and validates every reconfiguration, so the simulator
+can charge reconfiguration events only when a mask actually changes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+__all__ = ["WayPartition", "allocation_to_masks", "RepartitionTransient"]
+
+
+def allocation_to_masks(ways: Sequence[int], total_ways: int) -> List[int]:
+    """Pack per-core way counts into disjoint contiguous bitmasks.
+
+    Cores receive contiguous way ranges in core order; the masks always
+    cover exactly ``sum(ways)`` ways and never overlap.
+
+    Returns
+    -------
+    One integer bitmask per core (bit ``i`` = way ``i``).
+    """
+    if sum(ways) > total_ways:
+        raise ValueError(f"allocation {list(ways)} exceeds {total_ways} ways")
+    if any(w < 0 for w in ways):
+        raise ValueError("way counts must be non-negative")
+    masks = []
+    base = 0
+    for w in ways:
+        masks.append(((1 << w) - 1) << base)
+        base += w
+    return masks
+
+
+@dataclass
+class WayPartition:
+    """Mutable partition state for an ``n_cores`` system.
+
+    Attributes
+    ----------
+    total_ways:
+        Total LLC associativity ``A``.
+    ways:
+        Current per-core way counts (must sum to ``total_ways``).
+    """
+
+    total_ways: int
+    ways: Tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        self._validate(self.ways)
+
+    def _validate(self, ways: Sequence[int]) -> None:
+        if sum(ways) != self.total_ways:
+            raise ValueError(
+                f"allocation {list(ways)} must sum to {self.total_ways} ways"
+            )
+        if any(w < 1 for w in ways):
+            raise ValueError("each core needs at least one way")
+
+    @property
+    def n_cores(self) -> int:
+        return len(self.ways)
+
+    def masks(self) -> List[int]:
+        """Current non-overlapping per-core bitmasks."""
+        return allocation_to_masks(self.ways, self.total_ways)
+
+    def apply(self, new_ways: Sequence[int]) -> Tuple[int, ...]:
+        """Install a new allocation; return the cores whose mask changed.
+
+        The returned tuple of core ids is what the simulator charges the
+        (small) repartitioning overhead to.
+        """
+        self._validate(new_ways)
+        changed = tuple(
+            i for i, (old, new) in enumerate(zip(self.ways, new_ways)) if old != new
+        )
+        self.ways = tuple(int(w) for w in new_ways)
+        return changed
+
+    def even_split(self) -> Tuple[int, ...]:
+        """The baseline allocation: ``total_ways / n_cores`` each."""
+        if self.total_ways % self.n_cores:
+            raise ValueError("total ways not divisible by core count")
+        per = self.total_ways // self.n_cores
+        return tuple(per for _ in range(self.n_cores))
+
+
+@dataclass(frozen=True)
+class RepartitionTransient:
+    """Warm-up cost of moving LLC ways between cores.
+
+    Updating a partition bitmask is itself a register write, but the
+    *contents* of transferred ways belong to the old owner: the gaining
+    core cold-misses until it refills them, and the losing core re-misses
+    on the part of its working set that no longer fits.  Both effects are
+    bounded by the capacity of the transferred ways; the model charges each
+    core whose allocation changed
+
+        extra_misses = |delta ways| x lines_per_way x occupancy
+
+    as DRAM refill energy plus a stall of ``extra_misses x L_mem / overlap``
+    (refills overlap like ordinary misses).  The magnitude lands in the
+    same range as a DVFS switch — small against a 100M-instruction interval
+    but charged for fidelity, mirroring Section III-E's treatment of the
+    other enforcement costs.
+
+    Attributes
+    ----------
+    way_kb:
+        Capacity of one way (Table I: 256 KB).
+    block_bytes:
+        Line size.
+    occupancy:
+        Fraction of transferred lines that actually cause a refill.
+    overlap:
+        Assumed refill MLP (misses overlapped during warm-up).
+    """
+
+    way_kb: int = 256
+    block_bytes: int = 64
+    occupancy: float = 0.5
+    overlap: float = 8.0
+
+    def __post_init__(self) -> None:
+        if self.way_kb <= 0 or self.block_bytes <= 0:
+            raise ValueError("capacities must be positive")
+        if not 0.0 <= self.occupancy <= 1.0:
+            raise ValueError("occupancy must be in [0, 1]")
+        if self.overlap < 1.0:
+            raise ValueError("overlap must be >= 1")
+
+    @property
+    def lines_per_way(self) -> int:
+        return self.way_kb * 1024 // self.block_bytes
+
+    def extra_misses(self, delta_ways: int) -> float:
+        """Transient refill misses for a ``delta_ways`` change (either sign)."""
+        return abs(int(delta_ways)) * self.lines_per_way * self.occupancy
+
+    def cost(
+        self, delta_ways: int, mem_latency_s: float, mem_energy_j: float
+    ) -> Tuple[float, float]:
+        """(stall seconds, energy joules) charged to one core."""
+        if mem_latency_s < 0 or mem_energy_j < 0:
+            raise ValueError("latency and energy must be non-negative")
+        misses = self.extra_misses(delta_ways)
+        return misses * mem_latency_s / self.overlap, misses * mem_energy_j

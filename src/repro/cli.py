@@ -1,0 +1,79 @@
+"""Command-line entry point.
+
+Usage::
+
+    python -m repro list                 # available experiments
+    python -m repro fig7                 # one experiment, full scale
+    python -m repro fig6 --quick         # shrunk workloads/horizons
+    python -m repro all --quick          # everything
+    python -m repro fig6 --seed 7 --workloads 3 --cores 4
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import Sequence
+
+from repro.experiments.common import ExperimentConfig
+from repro.experiments.runner import EXPERIMENTS, run_all, run_experiment
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-qoscap",
+        description=(
+            "Reproduction of 'Coordinated Management of Processor "
+            "Configuration and Cache Partitioning to Optimize Energy under "
+            "QoS Constraints' (Nejat et al., IPDPS 2020)"
+        ),
+    )
+    parser.add_argument(
+        "experiment",
+        help="experiment name, 'all', or 'list'",
+    )
+    parser.add_argument("--quick", action="store_true", help="shrunk quick mode")
+    parser.add_argument("--seed", type=int, default=2020)
+    parser.add_argument(
+        "--workloads", type=int, default=6, help="workloads per scenario"
+    )
+    parser.add_argument(
+        "--cores",
+        type=int,
+        nargs="+",
+        default=None,
+        help="core counts for the multi-core experiments (default: 4 8)",
+    )
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.experiment == "list":
+        print("available experiments:")
+        for name in EXPERIMENTS:
+            print(f"  {name}")
+        return 0
+
+    cfg = ExperimentConfig(
+        seed=args.seed,
+        quick=args.quick,
+        workloads_per_scenario=args.workloads,
+        core_counts=tuple(args.cores) if args.cores else (4, 8),
+    )
+    t0 = time.time()
+    if args.experiment == "all":
+        for result in run_all(cfg):
+            print(result.rendered())
+            print()
+    else:
+        print(run_experiment(args.experiment, cfg).rendered())
+    print(f"[done in {time.time() - t0:.1f}s]", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

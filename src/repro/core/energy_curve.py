@@ -1,0 +1,65 @@
+"""Per-core energy curves: the local/global optimisation interface.
+
+The key architectural property of the framework (Section III-A) is that the
+*only* thing a core exports to the global optimiser is a curve
+``E(w)`` — minimum predicted energy as a function of allocated ways — no
+matter which local resources (f alone, or f and c) produced it.  Infeasible
+allocations carry ``+inf``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["EnergyCurve"]
+
+
+@dataclass(frozen=True)
+class EnergyCurve:
+    """Minimum-energy-vs-ways curve for one core.
+
+    Attributes
+    ----------
+    ways:
+        ``int[k]`` ascending, contiguous candidate way counts.
+    energy:
+        ``float[k]`` predicted energy (J); ``+inf`` marks QoS-infeasible
+        allocations.
+    """
+
+    ways: np.ndarray
+    energy: np.ndarray
+
+    def __post_init__(self) -> None:
+        ways = np.asarray(self.ways, dtype=int)
+        energy = np.asarray(self.energy, dtype=float)
+        if ways.ndim != 1 or ways.size == 0 or ways.shape != energy.shape:
+            raise ValueError("ways and energy must be equal-length 1-D arrays")
+        if np.any(np.diff(ways) != 1):
+            raise ValueError("ways must be contiguous ascending integers")
+        object.__setattr__(self, "ways", ways)
+        object.__setattr__(self, "energy", energy)
+
+    @property
+    def w_min(self) -> int:
+        return int(self.ways[0])
+
+    @property
+    def w_max(self) -> int:
+        return int(self.ways[-1])
+
+    def energy_at(self, ways: int) -> float:
+        if not self.w_min <= ways <= self.w_max:
+            raise ValueError(f"ways {ways} outside curve domain")
+        return float(self.energy[ways - self.w_min])
+
+    def has_feasible_point(self) -> bool:
+        return bool(np.any(np.isfinite(self.energy)))
+
+    @staticmethod
+    def pinned(ways: int, energy: float = 0.0) -> "EnergyCurve":
+        """A degenerate single-point curve (used for cores without
+        observations yet: they stay pinned at the baseline allocation)."""
+        return EnergyCurve(np.array([ways]), np.array([energy]))

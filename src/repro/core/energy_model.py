@@ -1,0 +1,100 @@
+"""Online energy model (Eq. 4-5 of the paper).
+
+Energy of the upcoming interval at a candidate setting (c, f, w):
+
+    E(c,f,w) = E_dyn(c, f)  +  P_static(c, f) * T(c,f,w)  +  E_mem(w)
+
+* **Dynamic core energy** follows Eq. 4's sampling scheme: the RM measures
+  the dynamic energy of the past interval (total core energy minus the
+  offline-known static component) and rescales it to candidate settings
+  with the offline per-size capacitance factors and the ``V^2`` voltage
+  ratio.  We express Eq. 4 per instruction — with dynamic power of the
+  ``V^2 f`` form, ``P*_dyn x (V^2/V*^2) x T`` is exactly
+  ``E*_dyn x (V^2/V*^2)`` for the same instruction count, which avoids the
+  spurious frequency dependence a literal power-times-time reading would
+  introduce for memory-bound intervals.
+* **Static power** is known offline per (size, voltage) — Section III-D.
+* **Memory energy** is Eq. 5: measured accesses of the past interval plus
+  the ATD's predicted miss delta at the candidate allocation, priced at the
+  per-access DRAM energy (plus the LLC dynamic component).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.config import CoreSize, SystemConfig
+from repro.core.perf_models import ModelInputs
+from repro.power.model import PowerModel
+
+__all__ = ["OnlineEnergyModel"]
+
+
+@dataclass(frozen=True)
+class OnlineEnergyModel:
+    """Predicts per-interval application energy over the setting grid."""
+
+    power: PowerModel
+
+    def predict_energy_grid(
+        self,
+        inputs: ModelInputs,
+        time_grid: np.ndarray,
+        system: SystemConfig,
+    ) -> np.ndarray:
+        """``float[n_sizes, n_freqs, n_ways]`` joules for the next interval.
+
+        Parameters
+        ----------
+        inputs:
+            Past-interval statistics (counters + ATD report).
+        time_grid:
+            The *performance model's* predicted times — the energy model is
+            always paired with a performance model, so static energy
+            inherits its error (as in the paper).
+        """
+        counters = inputs.counters
+        sizes = CoreSize.all()
+        freqs = np.array(system.candidate_frequencies())
+        volts = np.array([system.dvfs.voltage(f) for f in freqs])
+        n_sizes, n_freqs, n_ways = time_grid.shape
+        if n_sizes != len(sizes) or n_freqs != freqs.size:
+            raise ValueError("time_grid shape mismatch with system grid")
+
+        # --- dynamic: sampled energy-per-instruction, rescaled ------------
+        n = counters.n_instructions
+        v_i = system.dvfs.voltage(counters.setting.f_ghz)
+        epi_sampled = counters.core_dynamic_j / max(n, 1.0)
+        size_factors = np.array(
+            [system.power.dyn_size_factor[c] for c in sizes], dtype=float
+        )
+        f_cur = system.power.dyn_size_factor[counters.setting.core]
+        epi = (
+            epi_sampled
+            * (size_factors / f_cur)[:, None]
+            * (volts[None, :] / v_i) ** 2
+        )  # (n_sizes, n_freqs)
+        e_dyn = epi * n
+
+        # --- static: offline table x predicted time ----------------------
+        static_power = np.empty((n_sizes, n_freqs))
+        for c in sizes:
+            for fi in range(n_freqs):
+                static_power[int(c), fi] = self.power.static_power_w(c, volts[fi])
+        e_static = static_power[:, :, None] * time_grid
+
+        # --- memory: Eq. 5 ------------------------------------------------
+        miss_curve = np.asarray(inputs.atd.miss_curve, dtype=float)
+        if miss_curve.size != n_ways:
+            raise ValueError("ATD miss curve length mismatch with grid")
+        w_i = counters.setting.ways
+        dm = miss_curve - miss_curve[w_i - 1]
+        ma = counters.misses_current
+        e_mem = (
+            np.clip(ma + dm, 0.0, None) * self.power.dram_access_energy_j()
+            + inputs.atd.accesses * self.power.llc_access_energy_j()
+        )
+
+        return e_dyn[:, :, None] + e_static + e_mem[None, None, :]

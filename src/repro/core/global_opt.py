@@ -1,0 +1,135 @@
+"""Global optimisation: recursive pairwise energy-curve reduction.
+
+Given one energy curve per core, the optimiser finds the allocation
+``{w_j}`` minimising total predicted energy subject to ``sum w_j = A`` and
+the per-core domain bounds — Section III-A's reduction: curves are combined
+pairwise,
+
+    E_ab(W) = min over w_a + w_b = W of  E_a(w_a) + E_b(w_b),
+
+up a binary tree, the root is evaluated at the way budget, and choices are
+back-tracked down.  Complexity is polynomial in the core count
+(O(n * A^2) combine work), the property the paper highlights over a naive
+exponential joint search.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.core.energy_curve import EnergyCurve
+
+__all__ = ["GlobalOptResult", "combine_pair", "partition_ways"]
+
+
+@dataclass(frozen=True)
+class GlobalOptResult:
+    """Optimal partition plus bookkeeping for overhead accounting."""
+
+    ways: List[int]
+    total_energy: float
+    dp_operations: int
+
+
+class _Node:
+    """Reduction-tree node: a combined curve plus back-tracking tables."""
+
+    __slots__ = ("curve", "left", "right", "choice")
+
+    def __init__(self, curve: EnergyCurve, left=None, right=None, choice=None):
+        self.curve = curve
+        self.left = left
+        self.right = right
+        self.choice = choice  # int[k]: ways given to the left child per W
+
+
+def combine_pair(a: EnergyCurve, b: EnergyCurve) -> tuple[EnergyCurve, np.ndarray, int]:
+    """Reduce two curves; returns (combined, left-choice table, op count).
+
+    ``choice[i]`` is the left-child allocation for combined way count
+    ``combined.ways[i]``.
+    """
+    la, lb = a.energy.size, b.energy.size
+    lo = a.w_min + b.w_min
+    hi = a.w_max + b.w_max
+    width = hi - lo + 1
+    best = np.full(width, np.inf)
+    choice = np.full(width, a.w_min, dtype=int)
+    # Slide b's curve under each of a's points; vectorised inner loop.
+    for ia in range(la):
+        wa = a.w_min + ia
+        ea = a.energy[ia]
+        if not np.isfinite(ea):
+            continue
+        sums = ea + b.energy
+        start = (wa + b.w_min) - lo
+        seg = slice(start, start + lb)
+        better = sums < best[seg]
+        if np.any(better):
+            best_seg = best[seg]
+            choice_seg = choice[seg]
+            best_seg[better] = sums[better]
+            choice_seg[better] = wa
+            best[seg] = best_seg
+            choice[seg] = choice_seg
+    combined = EnergyCurve(np.arange(lo, hi + 1), best)
+    return combined, choice, la * lb
+
+
+def _reduce(curves: Sequence[EnergyCurve], ops: List[int]) -> _Node:
+    nodes = [_Node(c) for c in curves]
+    while len(nodes) > 1:
+        next_level: List[_Node] = []
+        for i in range(0, len(nodes) - 1, 2):
+            combined, choice, n_ops = combine_pair(
+                nodes[i].curve, nodes[i + 1].curve
+            )
+            ops[0] += n_ops
+            next_level.append(_Node(combined, nodes[i], nodes[i + 1], choice))
+        if len(nodes) % 2:
+            next_level.append(nodes[-1])
+        nodes = next_level
+    return nodes[0]
+
+
+def _backtrack(node: _Node, w: int, out: List[int]) -> None:
+    if node.left is None:
+        out.append(int(w))
+        return
+    wa = int(node.choice[w - node.curve.w_min])
+    _backtrack(node.left, wa, out)
+    _backtrack(node.right, w - wa, out)
+
+
+def partition_ways(
+    curves: Sequence[EnergyCurve], total_ways: int
+) -> GlobalOptResult:
+    """Optimal way partition across cores for a fixed budget.
+
+    Raises
+    ------
+    ValueError
+        If the budget is outside the combined domain or no feasible
+        partition exists (every curve must have at least one finite point;
+        in the RM the baseline allocation is always feasible, so this only
+        fires on malformed inputs).
+    """
+    if not curves:
+        raise ValueError("need at least one curve")
+    lo = sum(c.w_min for c in curves)
+    hi = sum(c.w_max for c in curves)
+    if not lo <= total_ways <= hi:
+        raise ValueError(
+            f"budget {total_ways} outside combined domain [{lo}, {hi}]"
+        )
+    ops = [0]
+    root = _reduce(list(curves), ops)
+    total = root.curve.energy_at(total_ways)
+    if not np.isfinite(total):
+        raise ValueError("no feasible partition for the given curves")
+    out: List[int] = []
+    _backtrack(root, total_ways, out)
+    return GlobalOptResult(ways=out, total_energy=float(total), dp_operations=ops[0])

@@ -1,0 +1,144 @@
+"""Per-core local optimisation (Section III-B).
+
+For every candidate way allocation ``w`` the optimiser searches the
+(core size, frequency) plane the manager is allowed to use and selects the
+minimum-predicted-energy pair that satisfies QoS, producing
+
+* the energy curve ``E(w)`` handed to the global optimiser,
+* the argmin functions ``c*(w)`` and ``f*(w)`` applied once the global
+  optimiser fixes ``w``.
+
+RM1 may move neither f nor c (curve points are baseline-setting energies);
+RM2 searches f only (the prior-work framework); RM3 searches both.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.config import CoreSize, Setting, SystemConfig
+from repro.core.energy_curve import EnergyCurve
+from repro.core.energy_model import OnlineEnergyModel
+from repro.core.perf_models import ModelInputs, PerformanceModel
+from repro.core.qos import QoSPolicy
+
+__all__ = ["RMCapabilities", "LocalOptResult", "optimize_local"]
+
+
+@dataclass(frozen=True)
+class RMCapabilities:
+    """Which local resources the manager may change (ways are always on)."""
+
+    adapt_frequency: bool
+    adapt_core: bool
+
+    @property
+    def label(self) -> str:
+        if self.adapt_core:
+            return "w+f+c"
+        if self.adapt_frequency:
+            return "w+f"
+        return "w"
+
+
+@dataclass(frozen=True)
+class LocalOptResult:
+    """Output of one local optimisation run for one core.
+
+    ``c_star``/``f_star`` are aligned with ``curve.ways``; entries of
+    infeasible allocations hold the baseline setting.  ``evaluations`` is
+    the number of (c, f, w) grid points examined (overhead accounting).
+    """
+
+    curve: EnergyCurve
+    c_star: np.ndarray
+    f_star: np.ndarray
+    t_hat: np.ndarray
+    predicted_baseline_time: float
+    evaluations: int
+
+    def setting_for(self, ways: int) -> Setting:
+        """The (c*, f*, w) setting for an allocation chosen globally."""
+        idx = ways - self.curve.w_min
+        if not 0 <= idx < self.curve.ways.size:
+            raise ValueError(f"ways {ways} outside optimised domain")
+        return Setting(
+            core=CoreSize(int(self.c_star[idx])),
+            f_ghz=float(self.f_star[idx]),
+            ways=int(ways),
+        )
+
+    def is_feasible(self, ways: int) -> bool:
+        return np.isfinite(self.curve.energy[ways - self.curve.w_min])
+
+
+def optimize_local(
+    inputs: ModelInputs,
+    perf_model: PerformanceModel,
+    energy_model: OnlineEnergyModel,
+    system: SystemConfig,
+    caps: RMCapabilities,
+    qos: QoSPolicy | None = None,
+) -> LocalOptResult:
+    """Run the local optimisation for one core.
+
+    Returns the energy curve over the system's candidate way range with the
+    per-way argmin settings.
+    """
+    qos = qos or QoSPolicy(system.qos_alpha)
+    baseline = system.baseline_setting()
+    freqs = np.array(system.candidate_frequencies())
+    sizes = CoreSize.all()
+
+    time_grid = perf_model.predict_time_grid(inputs, system)
+    energy_grid = energy_model.predict_energy_grid(inputs, time_grid, system)
+
+    t_base = float(
+        time_grid[int(baseline.core), system.dvfs.index_of(baseline.f_ghz), baseline.ways - 1]
+    )
+    feasible = qos.feasible_mask(time_grid, t_base)
+
+    # Restrict the searchable (c, f) plane to the manager's capabilities.
+    allowed = np.ones_like(feasible, dtype=bool)
+    if not caps.adapt_core:
+        core_mask = np.zeros(len(sizes), dtype=bool)
+        core_mask[int(baseline.core)] = True
+        allowed &= core_mask[:, None, None]
+    if not caps.adapt_frequency:
+        f_mask = np.zeros(freqs.size, dtype=bool)
+        f_mask[system.dvfs.index_of(baseline.f_ghz)] = True
+        allowed &= f_mask[None, :, None]
+
+    candidate = feasible & allowed
+    masked_energy = np.where(candidate, energy_grid, np.inf)
+
+    ways = np.array(system.candidate_ways())
+    w_idx = ways - 1  # grid axis is 1-based ways
+    n_w = ways.size
+
+    c_star = np.full(n_w, int(baseline.core), dtype=int)
+    f_star = np.full(n_w, baseline.f_ghz, dtype=float)
+    t_hat = np.full(n_w, np.inf)
+    e_curve = np.full(n_w, np.inf)
+
+    # Flatten the (c, f) plane per way and take the argmin.
+    plane = masked_energy[:, :, w_idx].reshape(-1, n_w)  # (c*f, n_w)
+    best = np.argmin(plane, axis=0)
+    best_energy = plane[best, np.arange(n_w)]
+    finite = np.isfinite(best_energy)
+    ci, fi = np.unravel_index(best, (len(sizes), freqs.size))
+    c_star[finite] = ci[finite]
+    f_star[finite] = freqs[fi[finite]]
+    e_curve[finite] = best_energy[finite]
+    t_hat[finite] = time_grid[ci[finite], fi[finite], w_idx[finite]]
+
+    return LocalOptResult(
+        curve=EnergyCurve(ways, e_curve),
+        c_star=c_star,
+        f_star=f_star,
+        t_hat=t_hat,
+        predicted_baseline_time=t_base,
+        evaluations=int(np.count_nonzero(allowed[:, :, w_idx])),
+    )

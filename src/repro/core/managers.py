@@ -1,0 +1,293 @@
+"""The resource managers: Idle, RM1, RM2, RM3.
+
+A :class:`ResourceManager` lives alongside the multi-core simulator.  At
+every interval boundary of core ``j`` the simulator hands it that core's
+fresh statistics (:meth:`ResourceManager.observe`); the manager rebuilds the
+core's energy curve locally and re-runs the global curve reduction against
+the *cached* curves of the other cores ("Other Cores (Already Available)" in
+Fig. 3), returning the full new system setting ``{(c*_j, f*_j, w*_j)}``.
+
+Cores that have not yet produced statistics stay pinned at the baseline
+allocation via degenerate single-point curves, which keeps the way budget
+exactly allocated from the first invocation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Mapping, Optional
+
+import numpy as np
+
+from repro.config import Setting, SystemConfig
+from repro.core.energy_curve import EnergyCurve
+from repro.core.energy_model import OnlineEnergyModel
+from repro.core.local_opt import LocalOptResult, RMCapabilities, optimize_local
+from repro.core.global_opt import partition_ways
+from repro.core.perf_models import ModelInputs, PerformanceModel
+from repro.core.qos import QoSPolicy
+from repro.power.model import PowerModel
+
+__all__ = ["ResourceManager", "IdleRM", "RM1", "RM2", "RM3", "make_rm", "RMDecision"]
+
+
+@dataclass(frozen=True)
+class RMDecision:
+    """One re-optimisation outcome.
+
+    ``local_evaluations``/``dp_operations`` cover only the work done at this
+    invocation (one local refresh + one global reduction), matching how the
+    paper charges the RM's instruction overhead per invocation.
+    """
+
+    settings: Dict[int, Setting]
+    local_evaluations: int
+    dp_operations: int
+    total_predicted_energy: float
+
+
+@dataclass
+class _CoreState:
+    result: Optional[LocalOptResult] = None
+
+
+class ResourceManager:
+    """Base class implementing the full decide loop.
+
+    Parameters
+    ----------
+    system:
+        System configuration (grid, budget, baseline).
+    perf_model:
+        The online performance model (Model1/2/3 or Perfect).
+    capabilities:
+        Which local resources may be throttled.
+    """
+
+    name = "RM"
+
+    def __init__(
+        self,
+        system: SystemConfig,
+        perf_model: PerformanceModel,
+        capabilities: RMCapabilities,
+        energy_model: OnlineEnergyModel | None = None,
+        qos: QoSPolicy | Mapping[int, QoSPolicy] | None = None,
+        switch_threshold: float = 0.02,
+    ):
+        if switch_threshold < 0:
+            raise ValueError("switch_threshold must be non-negative")
+        self.system = system
+        self.perf_model = perf_model
+        self.capabilities = capabilities
+        self.energy_model = energy_model or OnlineEnergyModel(
+            PowerModel(system.power, system.dvfs, system.memory)
+        )
+        # QoS may be a single policy (the paper's setup: every application
+        # shares alpha) or a per-core mapping — services with different
+        # latency slack are the natural deployment of Eq. 3's knob.
+        if qos is None:
+            self._qos = {i: QoSPolicy(system.qos_alpha) for i in range(system.n_cores)}
+        elif isinstance(qos, QoSPolicy):
+            self._qos = {i: qos for i in range(system.n_cores)}
+        else:
+            self._qos = {
+                i: qos.get(i, QoSPolicy(system.qos_alpha))
+                for i in range(system.n_cores)
+            }
+        #: Re-partition hysteresis: a new global way assignment is adopted
+        #: only when its predicted energy beats re-optimising *at the
+        #: current partition* by this relative margin.  Without damping,
+        #: symmetric workloads make the pairwise reduction flip between
+        #: mirror-image near-equal optima on every invocation (each core's
+        #: fresh curve vs the others' stale ones), dragging cores through
+        #: transient mis-configurations.
+        self.switch_threshold = switch_threshold
+        self._cores: Dict[int, _CoreState] = {
+            i: _CoreState() for i in range(system.n_cores)
+        }
+        self._current_ways: Dict[int, int] = {
+            i: system.baseline_setting().ways for i in range(system.n_cores)
+        }
+
+    # ------------------------------------------------------------------
+    def observe(self, core_id: int, inputs: ModelInputs) -> RMDecision:
+        """Interval boundary on ``core_id``: refresh + re-optimise.
+
+        Returns the new per-core settings for the whole system.
+        """
+        state = self._core_state(core_id)
+        result = optimize_local(
+            inputs,
+            self.perf_model,
+            self.energy_model,
+            self.system,
+            self.capabilities,
+            self.qos_for(core_id),
+        )
+        state.result = result
+        return self._reoptimize(invoker_evaluations=result.evaluations)
+
+    def qos_for(self, core_id: int) -> QoSPolicy:
+        """The QoS policy governing one core's application."""
+        if core_id not in self._qos:
+            raise KeyError(f"unknown core {core_id}")
+        return self._qos[core_id]
+
+    def _core_state(self, core_id: int) -> _CoreState:
+        if core_id not in self._cores:
+            raise KeyError(f"unknown core {core_id}")
+        return self._cores[core_id]
+
+    def _reoptimize(self, invoker_evaluations: int) -> RMDecision:
+        baseline = self.system.baseline_setting()
+        curves = []
+        for i in range(self.system.n_cores):
+            result = self._cores[i].result
+            if result is None or not result.curve.has_feasible_point():
+                curves.append(EnergyCurve.pinned(baseline.ways))
+            else:
+                curves.append(result.curve)
+        global_result = partition_ways(curves, self.system.total_ways)
+
+        ways = list(global_result.ways)
+        total_energy = global_result.total_energy
+        keep_energy = self._energy_at_partition(curves)
+        if keep_energy is not None:
+            improvement = keep_energy - total_energy
+            if improvement < self.switch_threshold * abs(keep_energy):
+                # Not worth re-partitioning: keep the current way split but
+                # still refresh the per-way optimal (c, f) choices.
+                ways = [self._current_ways[i] for i in range(self.system.n_cores)]
+                total_energy = keep_energy
+
+        settings: Dict[int, Setting] = {}
+        for i, w in enumerate(ways):
+            result = self._cores[i].result
+            if result is None or not result.is_feasible(w):
+                # No observations yet (pinned curve) or a defensive fallback
+                # for an infeasible pick: run the baseline (c, f) at w.
+                settings[i] = baseline.replace(ways=w)
+            else:
+                settings[i] = result.setting_for(w)
+            self._current_ways[i] = int(w)
+        return RMDecision(
+            settings=settings,
+            local_evaluations=invoker_evaluations,
+            dp_operations=global_result.dp_operations,
+            total_predicted_energy=total_energy,
+        )
+
+    def _energy_at_partition(self, curves) -> float | None:
+        """Predicted total energy of keeping the current way partition.
+
+        None when any core's current allocation is infeasible or outside
+        its fresh curve (forcing a re-partition).
+        """
+        total = 0.0
+        for i, curve in enumerate(curves):
+            w = self._current_ways[i]
+            if not curve.w_min <= w <= curve.w_max:
+                return None
+            e = curve.energy_at(w)
+            if not np.isfinite(e):
+                return None
+            total += e
+        return total
+
+    def reset(self) -> None:
+        baseline = self.system.baseline_setting()
+        for state in self._cores.values():
+            state.result = None
+        for i in self._current_ways:
+            self._current_ways[i] = baseline.ways
+
+
+class IdleRM(ResourceManager):
+    """The normalisation baseline: never moves away from the fixed setting."""
+
+    name = "Idle"
+
+    def __init__(self, system: SystemConfig, perf_model: PerformanceModel | None = None):
+        super().__init__(
+            system,
+            perf_model or _NullModel(),
+            RMCapabilities(adapt_frequency=False, adapt_core=False),
+        )
+
+    def observe(self, core_id: int, inputs: ModelInputs) -> RMDecision:
+        self._core_state(core_id)  # validate the id
+        baseline = self.system.baseline_setting()
+        return RMDecision(
+            settings={i: baseline for i in range(self.system.n_cores)},
+            local_evaluations=0,
+            dp_operations=0,
+            total_predicted_energy=float("nan"),
+        )
+
+
+class _NullModel(PerformanceModel):
+    name = "null"
+
+    def memory_time_grid(self, inputs, system):  # pragma: no cover - never called
+        raise NotImplementedError
+
+
+class RM1(ResourceManager):
+    """LLC partitioning only (ways move, f and c stay at baseline)."""
+
+    name = "RM1"
+
+    def __init__(self, system: SystemConfig, perf_model: PerformanceModel, **kw):
+        super().__init__(
+            system,
+            perf_model,
+            RMCapabilities(adapt_frequency=False, adapt_core=False),
+            **kw,
+        )
+
+
+class RM2(ResourceManager):
+    """LLC partitioning + per-core DVFS (the prior-work manager)."""
+
+    name = "RM2"
+
+    def __init__(self, system: SystemConfig, perf_model: PerformanceModel, **kw):
+        super().__init__(
+            system,
+            perf_model,
+            RMCapabilities(adapt_frequency=True, adapt_core=False),
+            **kw,
+        )
+
+
+class RM3(ResourceManager):
+    """The proposed manager: LLC partitioning + DVFS + core adaptation."""
+
+    name = "RM3"
+
+    def __init__(self, system: SystemConfig, perf_model: PerformanceModel, **kw):
+        super().__init__(
+            system,
+            perf_model,
+            RMCapabilities(adapt_frequency=True, adapt_core=True),
+            **kw,
+        )
+
+
+_RM_REGISTRY = {"idle": IdleRM, "rm1": RM1, "rm2": RM2, "rm3": RM3}
+
+
+def make_rm(
+    kind: str, system: SystemConfig, perf_model: PerformanceModel | None = None, **kw
+) -> ResourceManager:
+    """Factory: ``kind`` in {"idle", "rm1", "rm2", "rm3"}."""
+    key = kind.lower()
+    if key not in _RM_REGISTRY:
+        raise ValueError(f"unknown RM kind {kind!r}; options: {sorted(_RM_REGISTRY)}")
+    cls = _RM_REGISTRY[key]
+    if cls is IdleRM:
+        return IdleRM(system, perf_model)
+    if perf_model is None:
+        raise ValueError(f"{kind} requires a performance model")
+    return cls(system, perf_model, **kw)

@@ -1,0 +1,104 @@
+"""RM execution-cost accounting (Section III-E).
+
+The paper measured the instruction count of a C implementation of the RM
+algorithm: 51K/73K/100K instructions for 2/4/8-core systems with RM3 and
+18K/40K/67K with RM2.  We count the *abstract operations* our optimisers
+perform (model-grid evaluations in the local step, cell updates in the
+curve reduction) and convert them to instruction estimates with per-RM
+calibration constants fitted once against those six published points.
+
+The conversion is deliberately simple (affine in evaluations and DP cells
+plus a per-core term for bookkeeping) — the experiment reports both raw
+operation counts and converted instruction estimates next to the paper's
+numbers, so the calibration is transparent.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["RMCostModel", "PAPER_RM_INSTRUCTIONS"]
+
+#: Published instruction counts: {rm_label: {n_cores: instructions}}.
+PAPER_RM_INSTRUCTIONS = {
+    "w+f+c": {2: 51_000, 4: 73_000, 8: 100_000},
+    "w+f": {2: 18_000, 4: 40_000, 8: 67_000},
+}
+
+
+@dataclass(frozen=True)
+class RMCostModel:
+    """Converts optimiser operation counts into instruction estimates.
+
+    ``instructions = fixed + per_core * n_cores + per_eval * local_evals
+    + per_dp * dp_cells`` (floored at ``min_instructions``).
+
+    The default constants are a constrained least-squares fit against the
+    paper's six published points with ``per_eval`` pinned by the exact
+    RM3-RM2 difference (300 extra grid evaluations cost 33K instructions at
+    every core count) and ``per_dp`` held at a small positive value; the
+    unconstrained exact fit would need negative marginal DP cost because
+    the paper's totals grow sublinearly in core count while reduction work
+    grows superlinearly.  Worst-case residual of the constrained fit is
+    about 16% (RM2, 4 cores).
+    """
+
+    fixed: float = -13_200.0
+    per_core: float = 7_240.0
+    per_eval: float = 110.0
+    per_dp: float = 1.0
+    min_instructions: float = 1_000.0
+
+    def instructions(
+        self, n_cores: int, local_evaluations: int, dp_operations: int
+    ) -> float:
+        if n_cores < 1 or local_evaluations < 0 or dp_operations < 0:
+            raise ValueError("counts must be non-negative (n_cores >= 1)")
+        raw = (
+            self.fixed
+            + self.per_core * n_cores
+            + self.per_eval * local_evaluations
+            + self.per_dp * dp_operations
+        )
+        return max(raw, self.min_instructions)
+
+    def time_overhead_s(
+        self, instructions: float, ipc: float, f_ghz: float
+    ) -> float:
+        """Wall-clock cost of executing the RM on the invoking core."""
+        if ipc <= 0 or f_ghz <= 0:
+            raise ValueError("ipc and frequency must be positive")
+        return instructions / (ipc * f_ghz * 1e9)
+
+    def overhead_fraction(
+        self, instructions: float, interval_instructions: int
+    ) -> float:
+        """RM instructions as a fraction of the interval (the paper's 0.1%)."""
+        if interval_instructions <= 0:
+            raise ValueError("interval_instructions must be positive")
+        return instructions / interval_instructions
+
+
+def fit_cost_model(
+    samples: list[tuple[int, int, int, float]],
+) -> RMCostModel:
+    """Least-squares fit of the affine cost model.
+
+    Parameters
+    ----------
+    samples:
+        Tuples ``(n_cores, local_evaluations, dp_operations, instructions)``.
+    """
+    import numpy as np
+
+    if len(samples) < 4:
+        raise ValueError("need at least four samples to fit four coefficients")
+    a = np.array([[1.0, s[0], s[1], s[2]] for s in samples])
+    y = np.array([s[3] for s in samples])
+    coef, *_ = np.linalg.lstsq(a, y, rcond=None)
+    return RMCostModel(
+        fixed=float(coef[0]),
+        per_core=float(coef[1]),
+        per_eval=float(coef[2]),
+        per_dp=float(coef[3]),
+    )

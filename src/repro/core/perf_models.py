@@ -1,0 +1,184 @@
+"""Online performance models (Eq. 1-2 of the paper).
+
+All models share the analytical skeleton of Eq. 1.  With statistics from the
+past interval ``i`` run at setting ``(c_i, f_i, w_i)``, the predicted time of
+interval ``i+1`` at a candidate setting ``(c, f, w)`` is
+
+    T(c,f,w) = ( T0_i * D(c_i)/D(c) + T1_i ) / f  +  Tmem(c, w)
+
+where ``T0_i`` is the dispatch-scalable compute component (in cycles),
+``T1_i = T_BP + T_Cache`` the size-invariant stall component, ``D(.)`` the
+dispatch width, and the models differ *only* in the memory term:
+
+=========  ==================================================
+Model1     ``Tmem(w)  = misses(w) * L_mem``             (MLP ignored)
+Model2     ``Tmem(w)  = misses(w) * L_mem / MLP_i``     (constant MLP,
+           prior work [Nejat et al., IPDPS'19])
+Model3     ``Tmem(c,w) = LM(c,w) * L_mem``              (proposed: per
+           (core size, allocation) leading misses from the MLP-ATD)
+Perfect    ground truth of the next interval (oracle)
+=========  ==================================================
+
+``misses(w)`` and ``LM(c,w)`` come from the ATD report; ``MLP_i`` is the
+average MLP measured over the past interval.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.atd.atd import ATDReport
+from repro.config import CORE_PARAMS, CoreSize, Setting, SystemConfig
+from repro.database.records import IntervalCounters, PhaseRecord
+
+__all__ = [
+    "ModelInputs",
+    "PerformanceModel",
+    "Model1",
+    "Model2",
+    "Model3",
+    "PerfectModel",
+    "ALL_ONLINE_MODELS",
+]
+
+
+@dataclass(frozen=True)
+class ModelInputs:
+    """Everything a model may consume at an interval boundary.
+
+    ``next_record`` is only populated for oracle experiments (the Perfect
+    model); online models must not touch it.
+    """
+
+    counters: IntervalCounters
+    atd: ATDReport
+    next_record: Optional[PhaseRecord] = None
+
+
+def _dispatch_widths() -> np.ndarray:
+    return np.array([CORE_PARAMS[c].issue_width for c in CoreSize.all()], dtype=float)
+
+
+class PerformanceModel(ABC):
+    """Predicts execution time over the full (c, f, w) grid."""
+
+    #: Display name used in experiment output ("Model1" ... "Perfect").
+    name: str = "base"
+
+    @abstractmethod
+    def memory_time_grid(
+        self, inputs: ModelInputs, system: SystemConfig
+    ) -> np.ndarray:
+        """``float[n_sizes, n_ways]`` memory stall seconds per (c, w)."""
+
+    def predict_time_grid(
+        self, inputs: ModelInputs, system: SystemConfig
+    ) -> np.ndarray:
+        """Eq. 1 over the grid: ``float[n_sizes, n_freqs, n_ways]`` seconds."""
+        counters = inputs.counters
+        widths = _dispatch_widths()
+        d_i = widths[int(counters.setting.core)]
+        t0 = counters.t0_cycles
+        t1 = counters.t1_cycles
+        freqs_hz = np.array(system.candidate_frequencies()) * 1e9
+
+        compute_cycles = t0 * (d_i / widths) + t1  # (n_sizes,)
+        compute_s = compute_cycles[:, None, None] / freqs_hz[None, :, None]
+        tmem = self.memory_time_grid(inputs, system)  # (n_sizes, n_ways)
+        return compute_s + tmem[:, None, :]
+
+    def predict_time_at(
+        self, inputs: ModelInputs, system: SystemConfig, setting: Setting
+    ) -> float:
+        """Scalar prediction for one candidate setting."""
+        grid = self.predict_time_grid(inputs, system)
+        fi = system.dvfs.index_of(setting.f_ghz)
+        return float(grid[int(setting.core), fi, setting.ways - 1])
+
+    def predict_baseline_time(
+        self, inputs: ModelInputs, system: SystemConfig
+    ) -> float:
+        """Predicted time at the baseline setting (the QoS reference)."""
+        return self.predict_time_at(inputs, system, system.baseline_setting())
+
+
+class Model1(PerformanceModel):
+    """No-MLP model: every miss pays the full memory latency."""
+
+    name = "Model1"
+
+    def memory_time_grid(self, inputs: ModelInputs, system: SystemConfig) -> np.ndarray:
+        misses = np.asarray(inputs.atd.miss_curve, dtype=float)
+        lat = system.memory.base_latency_s
+        n_sizes = len(CoreSize.all())
+        return np.broadcast_to(misses * lat, (n_sizes, misses.size)).copy()
+
+
+class Model2(PerformanceModel):
+    """Constant-MLP model of the prior-work framework.
+
+    The MLP measured over the past interval (at the *current* core size and
+    allocation) is assumed to hold for every candidate setting — accurate
+    for DVFS-only managers, increasingly wrong once the core size changes.
+
+    ``L_mem`` is the *measured* effective per-leading-miss latency of the
+    past interval (stall time / leading misses), which folds queueing at
+    the current operating point into Eq. 2's constant and makes the model
+    exactly self-consistent at the current setting.
+    """
+
+    name = "Model2"
+
+    def memory_time_grid(self, inputs: ModelInputs, system: SystemConfig) -> np.ndarray:
+        misses = np.asarray(inputs.atd.miss_curve, dtype=float)
+        lat = inputs.counters.effective_memory_latency_s(system.memory.base_latency_s)
+        mlp = inputs.counters.measured_mlp
+        n_sizes = len(CoreSize.all())
+        return np.broadcast_to(misses * lat / mlp, (n_sizes, misses.size)).copy()
+
+
+class Model3(PerformanceModel):
+    """The proposed model: leading misses per (core size, allocation).
+
+    Consumes the Fig. 4 MLP-ATD counters, which already resolve both the
+    allocation dependence (recency) and the core-size dependence (ROB-window
+    grouping with dependence inference from arrival order).  Like Model2 it
+    prices leading misses at the measured effective latency of the past
+    interval.
+    """
+
+    name = "Model3"
+
+    def memory_time_grid(self, inputs: ModelInputs, system: SystemConfig) -> np.ndarray:
+        lm = np.asarray(inputs.atd.mlp.leading_misses, dtype=float)
+        lat = inputs.counters.effective_memory_latency_s(system.memory.base_latency_s)
+        return lm * lat
+
+
+class PerfectModel(PerformanceModel):
+    """Oracle: ground truth of the next interval (perfect-model studies).
+
+    Requires ``inputs.next_record``; both the compute and memory components
+    come straight from the database, so predictions are exact including the
+    bandwidth-contention refinement.
+    """
+
+    name = "Perfect"
+
+    def memory_time_grid(self, inputs: ModelInputs, system: SystemConfig) -> np.ndarray:
+        if inputs.next_record is None:
+            raise ValueError("PerfectModel requires next_record in ModelInputs")
+        return np.asarray(inputs.next_record.mem_time_grid, dtype=float)
+
+    def predict_time_grid(self, inputs: ModelInputs, system: SystemConfig) -> np.ndarray:
+        if inputs.next_record is None:
+            raise ValueError("PerfectModel requires next_record in ModelInputs")
+        return np.asarray(inputs.next_record.time_grid, dtype=float)
+
+
+#: The three online models in paper order (Fig. 7/8/9 series).
+ALL_ONLINE_MODELS = (Model1, Model2, Model3)

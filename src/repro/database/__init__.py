@@ -1,0 +1,24 @@
+"""Per-phase simulation database (the Sniper+McPAT database stand-in).
+
+The paper simulates every phase of every benchmark over all core
+configurations, VF settings and LLC allocations, and collects the results in
+a database the RM simulator replays (Section IV-A).  This subpackage does
+the same: :func:`~repro.database.builder.build_database` runs the trace
+generator, cache/ATD models, the ground-truth interval model and the power
+model for each (application, phase), storing per-record grids of execution
+time and energy over the whole setting space plus everything the online
+models observe (counters and ATD reports).
+"""
+
+from repro.database.records import IntervalCounters, PhaseRecord
+from repro.database.builder import SimDatabase, build_database
+from repro.database.store import load_cached_database, save_database_cache
+
+__all__ = [
+    "IntervalCounters",
+    "PhaseRecord",
+    "SimDatabase",
+    "build_database",
+    "load_cached_database",
+    "save_database_cache",
+]

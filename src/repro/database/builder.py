@@ -1,0 +1,224 @@
+"""Database construction: trace synthesis -> models -> grids.
+
+For every (application, phase) the builder
+
+1. synthesises the representative trace,
+2. measures the ground-truth miss curve and oracle leading-miss matrix,
+3. replays the trace through the per-core ATD (arrival order) to obtain the
+   *measured* miss curve and the Fig. 4 heuristic leading-miss matrix,
+4. evaluates the mechanistic interval model and the power model over the
+   full (c, f, w) grid,
+
+yielding one :class:`~repro.database.records.PhaseRecord`.  Results are
+deterministic in (suite, system, seed) and can be cached on disk
+(:mod:`repro.database.store`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Sequence
+
+import numpy as np
+
+from repro.atd.atd import AuxiliaryTagDirectory
+from repro.cache.hierarchy import PrivateHierarchyModel
+from repro.config import CORE_PARAMS, CoreSize, SystemConfig
+from repro.database.records import PhaseRecord
+from repro.microarch.interval_model import IntervalModel
+from repro.microarch.leading import leading_miss_matrix
+from repro.power.model import PowerModel
+from repro.trace.generator import PhaseTraceGenerator
+from repro.trace.spec import AppSpec, PhaseSpec
+from repro.util.rng import derive_seed
+
+__all__ = ["SimDatabase", "build_database", "build_phase_record"]
+
+
+@dataclass
+class SimDatabase:
+    """All phase records for a suite under one system configuration."""
+
+    system: SystemConfig
+    apps: Dict[str, AppSpec]
+    records: Dict[str, List[PhaseRecord]] = field(default_factory=dict)
+
+    def record(self, app: str, phase_index: int) -> PhaseRecord:
+        return self.records[app][phase_index]
+
+    def record_for_interval(self, app: str, interval: int) -> PhaseRecord:
+        """Record for the phase an app executes in a given interval."""
+        spec = self.apps[app]
+        return self.records[app][spec.phase_of_interval(interval)]
+
+    def app_names(self) -> List[str]:
+        return sorted(self.records)
+
+    def iter_phase_records(self):
+        """Yield ``(app_spec, phase_index, weight, record)`` over the suite.
+
+        Weights are the SimPoint-style phase weights of each application.
+        """
+        for name in self.app_names():
+            spec = self.apps[name]
+            weights = spec.phase_weights()
+            for idx, record in enumerate(self.records[name]):
+                yield spec, idx, weights[idx], record
+
+    def baseline_times(self) -> Mapping[str, np.ndarray]:
+        """Per-app vector of baseline interval times (per phase)."""
+        base = self.system.baseline_setting()
+        return {
+            name: np.array([r.time_at(base) for r in recs])
+            for name, recs in self.records.items()
+        }
+
+
+def build_phase_record(
+    spec: PhaseSpec,
+    app_name: str,
+    system: SystemConfig,
+    seed: int,
+    generator: PhaseTraceGenerator | None = None,
+    hierarchy: PrivateHierarchyModel | None = None,
+) -> PhaseRecord:
+    """Build one database entry (see module docstring for the steps)."""
+    gen = generator or PhaseTraceGenerator(system.scale)
+    hier = hierarchy or PrivateHierarchyModel()
+    trace = gen.generate(spec, seed)
+    stream = trace.stream
+    scale = trace.sample_scale
+
+    n_instr = float(system.scale.interval_instructions)
+    rob_sizes = [CORE_PARAMS[c].rob for c in CoreSize.all()]
+    max_ways = system.cache.w_max
+
+    # --- ground truth ---------------------------------------------------
+    miss_curve = trace.nominal_miss_curve(max_ways)
+    lm_true = leading_miss_matrix(stream, rob_sizes, max_ways) * scale
+    cache_stall = hier.cache_stall_curve(trace, max_ways)
+    branch_cycles = n_instr * spec.branch_mpki / 1000.0 * spec.branch_penalty_cycles
+    ipc = np.array([spec.ipc[c] for c in CoreSize.all()], dtype=float)
+    widths = np.array([CORE_PARAMS[c].issue_width for c in CoreSize.all()], dtype=float)
+    dep_stall = n_instr / ipc - n_instr / widths  # >= 0 by spec validation
+    accesses = trace.nominal_accesses
+
+    # --- the ATD's (online) view ----------------------------------------
+    atd = AuxiliaryTagDirectory(
+        n_sets=gen.n_sets,
+        max_ways=max_ways,
+        set_sample=system.cache.atd_sample,
+    )
+    report = atd.process(stream, scale=scale)
+
+    # --- time grids ------------------------------------------------------
+    freqs = np.array(system.candidate_frequencies())
+    model = IntervalModel(system)
+    time_grid = model.time_grid(
+        n_instructions=n_instr,
+        ipc_by_size=ipc,
+        branch_cycles=branch_cycles,
+        cache_stall_curve=cache_stall,
+        lm_matrix=lm_true,
+        miss_curve=miss_curve,
+        frequencies_ghz=freqs,
+    )
+    # Memory stall time is frequency-invariant: recover it at the baseline
+    # frequency column (identical across columns by construction).
+    f_base_idx = int(np.argmin(np.abs(freqs - system.dvfs.f_base_ghz)))
+    compute_cycles = (
+        n_instr / ipc[:, None] + branch_cycles + cache_stall[None, :]
+    )
+    mem_time_grid = time_grid[:, f_base_idx, :] - compute_cycles / (
+        freqs[f_base_idx] * 1e9
+    )
+    mem_time_grid = np.clip(mem_time_grid, 0.0, None)
+
+    # --- energy grids ----------------------------------------------------
+    power = PowerModel(system.power, system.dvfs, system.memory)
+    volts = np.array([system.dvfs.voltage(f) for f in freqs])
+    core_dyn = np.empty((len(CoreSize.all()), freqs.size))
+    core_static = np.empty_like(core_dyn)
+    for c in CoreSize.all():
+        for fi, _f in enumerate(freqs):
+            core_dyn[int(c), fi] = (
+                power.dynamic_energy_per_instruction_j(c, volts[fi]) * n_instr
+            )
+            core_static[int(c), fi] = power.static_power_w(c, volts[fi])
+    mem_energy = (
+        miss_curve * power.dram_access_energy_j()
+        + accesses * power.llc_access_energy_j()
+    )
+
+    record = PhaseRecord(
+        app=app_name,
+        phase=spec.name,
+        n_instructions=n_instr,
+        ipc_by_size=ipc,
+        dep_stall_cycles=dep_stall,
+        branch_cycles=branch_cycles,
+        cache_stall_curve=cache_stall,
+        miss_curve=miss_curve,
+        lm_true=lm_true.astype(float),
+        atd_miss_curve=report.miss_curve,
+        lm_heur=report.mlp.leading_misses,
+        llc_accesses=accesses,
+        time_grid=time_grid,
+        mem_time_grid=mem_time_grid,
+        core_dyn_grid=core_dyn,
+        core_static_power_grid=core_static,
+        mem_energy_curve=mem_energy,
+        frequencies_ghz=freqs,
+    )
+    record.shape_check()
+    return record
+
+
+def build_database(
+    suite: Sequence[AppSpec],
+    system: SystemConfig,
+    seed: int = 2020,
+    generator: PhaseTraceGenerator | None = None,
+    use_cache: bool = True,
+) -> SimDatabase:
+    """Build (or load from cache) the database for a suite.
+
+    The cache key covers the suite specs, the system configuration and the
+    seed, so stale results can never be returned for changed inputs.
+    """
+    from repro.database.store import load_cached_database, save_database_cache
+
+    apps = {spec.name: spec for spec in suite}
+    if len(apps) != len(suite):
+        raise ValueError("application names must be unique")
+
+    if use_cache:
+        cached = load_cached_database(suite, system, seed)
+        if cached is not None:
+            return cached
+
+    gen = generator or PhaseTraceGenerator(system.scale)
+    db = SimDatabase(system=system, apps=apps)
+    for spec in suite:
+        records = []
+        for idx, phase in enumerate(spec.phases):
+            phase_seed = derive_seed(seed, "trace", spec.name, idx)
+            records.append(
+                build_phase_record(phase, spec.name, system, phase_seed, gen)
+            )
+        db.records[spec.name] = records
+
+    if use_cache:
+        save_database_cache(db, suite, seed)
+    return db
+
+
+def baseline_feasibility_check(db: SimDatabase) -> None:
+    """Assert the paper's premise: the baseline setting exists in-grid.
+
+    The baseline (M core, 2 GHz, even split) must be a valid grid point for
+    every record; raises otherwise.
+    """
+    base = db.system.baseline_setting()
+    for _spec, _idx, _w, record in db.iter_phase_records():
+        record.time_at(base)  # raises if off-grid

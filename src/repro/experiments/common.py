@@ -1,0 +1,162 @@
+"""Shared experiment infrastructure.
+
+``ExperimentConfig`` carries the knobs every experiment respects — most
+importantly ``quick``, which shrinks workload counts and horizons so the
+benchmark suite stays fast while ``python -m repro --full`` reproduces the
+paper-scale runs.  Databases are built once per core count and shared
+(records are core-count independent; only the system binding changes).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Sequence, Tuple
+
+from repro.config import SystemConfig, default_system
+from repro.core.managers import ResourceManager, make_rm
+from repro.core.perf_models import (
+    Model1,
+    Model2,
+    Model3,
+    PerfectModel,
+    PerformanceModel,
+)
+from repro.database.builder import SimDatabase, build_database
+from repro.simulator.metrics import SimResult
+from repro.simulator.rmsim import MulticoreRMSimulator
+from repro.trace.spec import AppSpec
+from repro.workloads.suite import spec_suite
+
+__all__ = [
+    "ExperimentConfig",
+    "ExperimentResult",
+    "get_database",
+    "make_model",
+    "run_workload",
+    "MODEL_NAMES",
+    "RM_KINDS",
+]
+
+MODEL_NAMES: Tuple[str, ...] = ("Model1", "Model2", "Model3", "Perfect")
+RM_KINDS: Tuple[str, ...] = ("rm1", "rm2", "rm3")
+
+_DB_CACHE: Dict[Tuple[int, int], SimDatabase] = {}
+
+
+@dataclass(frozen=True)
+class ExperimentConfig:
+    """Knobs shared by all experiments."""
+
+    seed: int = 2020
+    quick: bool = False
+    #: Workloads generated per (scenario, core count); the paper uses six.
+    workloads_per_scenario: int = 6
+    #: Core counts evaluated by the multi-core experiments.
+    core_counts: Tuple[int, ...] = (4, 8)
+    #: Horizon override in intervals (None = the paper's longest-app rule).
+    horizon_intervals: int | None = None
+
+    def effective(self) -> "ExperimentConfig":
+        """Resolve quick-mode shrinkage."""
+        if not self.quick:
+            return self
+        return replace(
+            self,
+            workloads_per_scenario=min(self.workloads_per_scenario, 2),
+            core_counts=(4,),
+            horizon_intervals=self.horizon_intervals or 12,
+        )
+
+
+@dataclass
+class ExperimentResult:
+    """Uniform experiment output: named rows plus a rendered table."""
+
+    name: str
+    headers: List[str]
+    rows: List[List]
+    notes: List[str] = field(default_factory=list)
+    data: Dict = field(default_factory=dict)
+
+    def rendered(self) -> str:
+        from repro.util.tables import format_table
+
+        text = format_table(self.headers, self.rows, title=f"[{self.name}]")
+        if self.notes:
+            text += "\n" + "\n".join(f"  note: {n}" for n in self.notes)
+        return text
+
+    def to_csv(self) -> str:
+        """The result rows as RFC-4180 CSV (headers first)."""
+        import csv
+        import io
+
+        buf = io.StringIO()
+        writer = csv.writer(buf, lineterminator="\n")
+        writer.writerow(self.headers)
+        writer.writerows(self.rows)
+        return buf.getvalue()
+
+    def write_csv(self, path) -> None:
+        """Persist :meth:`to_csv` output to ``path``."""
+        from pathlib import Path
+
+        Path(path).write_text(self.to_csv())
+
+
+def get_database(
+    n_cores: int, seed: int = 2020, suite: Sequence[AppSpec] | None = None
+) -> SimDatabase:
+    """Database for a core count (records shared across core counts).
+
+    Phase records do not depend on the core count (grids span the full
+    per-core setting space; the budget only matters to the optimiser), so
+    one build is re-bound to each requested system.
+    """
+    key = (n_cores, seed)
+    if key in _DB_CACHE:
+        return _DB_CACHE[key]
+    suite = list(suite) if suite is not None else spec_suite()
+    base_key = (4, seed)
+    if base_key in _DB_CACHE:
+        base = _DB_CACHE[base_key]
+        db = SimDatabase(
+            system=default_system(n_cores), apps=base.apps, records=base.records
+        )
+    else:
+        db = build_database(suite, default_system(n_cores), seed=seed)
+    _DB_CACHE[key] = db
+    return db
+
+
+def make_model(name: str) -> PerformanceModel:
+    """Instantiate a performance model by its paper name."""
+    models = {
+        "Model1": Model1,
+        "Model2": Model2,
+        "Model3": Model3,
+        "Perfect": PerfectModel,
+    }
+    if name not in models:
+        raise ValueError(f"unknown model {name!r}; options: {sorted(models)}")
+    return models[name]()
+
+
+def run_workload(
+    db: SimDatabase,
+    rm_kind: str,
+    model_name: str | None,
+    apps: Sequence[str],
+    horizon_intervals: int | None = None,
+    charge_overheads: bool = True,
+) -> SimResult:
+    """Run one workload under one manager/model combination."""
+    system: SystemConfig = db.system
+    if rm_kind == "idle":
+        rm: ResourceManager = make_rm("idle", system)
+    else:
+        if model_name is None:
+            raise ValueError("non-idle managers need a model name")
+        rm = make_rm(rm_kind, system, make_model(model_name))
+    sim = MulticoreRMSimulator(db, rm, charge_overheads=charge_overheads)
+    return sim.run(list(apps), horizon_intervals=horizon_intervals)

@@ -1,0 +1,90 @@
+"""Fig. 9: effect of the performance model on RM3's energy savings.
+
+Runs the same scenario workloads as Fig. 6 with RM3 under each of Model1,
+Model2, Model3 and the Perfect oracle (which also predicts phase
+transitions exactly).  The paper's expectation: Model3's savings sit closest
+to the perfect-model envelope.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.experiments.common import (
+    ExperimentConfig,
+    ExperimentResult,
+    MODEL_NAMES,
+    get_database,
+    run_workload,
+)
+from repro.simulator.metrics import energy_savings
+from repro.workloads.categories import classify_suite
+from repro.workloads.mixes import generate_workloads
+
+__all__ = ["run"]
+
+
+def run(cfg: ExperimentConfig | None = None) -> ExperimentResult:
+    cfg = (cfg or ExperimentConfig()).effective()
+    rows: List[List] = []
+    summary: Dict[int, Dict[str, List[float]]] = {}
+
+    for n_cores in cfg.core_counts:
+        db = get_database(n_cores, cfg.seed)
+        categories = classify_suite(db)
+        per_model: Dict[str, List[float]] = {m: [] for m in MODEL_NAMES}
+        for scenario in (1, 2, 3, 4):
+            mixes = generate_workloads(
+                categories, scenario, n_cores,
+                cfg.workloads_per_scenario, seed=cfg.seed,
+            )
+            for mix in mixes:
+                idle = run_workload(
+                    db, "idle", None, mix.apps,
+                    horizon_intervals=cfg.horizon_intervals,
+                )
+                row = [mix.label]
+                for model in MODEL_NAMES:
+                    res = run_workload(
+                        db, "rm3", model, mix.apps,
+                        horizon_intervals=cfg.horizon_intervals,
+                    )
+                    saving = energy_savings(res, idle)
+                    per_model[model].append(saving)
+                    row.append(f"{100 * saving:.1f}%")
+                rows.append(row)
+        for model in MODEL_NAMES:
+            vals = per_model[model]
+            rows.append(
+                [f"{n_cores}-core {model} average"]
+                + [f"{100 * sum(vals) / len(vals):.1f}%"]
+                + [""] * (len(MODEL_NAMES) - 1)
+            )
+        summary[n_cores] = per_model
+
+    # gap of each online model to the perfect envelope
+    notes = []
+    for n_cores, per_model in summary.items():
+        perfect = sum(per_model["Perfect"]) / len(per_model["Perfect"])
+        gaps = {
+            m: perfect - sum(v) / len(v)
+            for m, v in per_model.items()
+            if m != "Perfect"
+        }
+        best = min(gaps, key=gaps.get)
+        notes.append(
+            f"{n_cores}-core gap to perfect: "
+            + ", ".join(f"{m}: {100 * g:.1f}pp" for m, g in gaps.items())
+            + f" -> closest: {best} (paper: Model3)"
+        )
+    return ExperimentResult(
+        name="fig9",
+        headers=["workload"] + list(MODEL_NAMES),
+        rows=rows,
+        notes=notes,
+        data={"summary": summary},
+    )
+
+
+if __name__ == "__main__":
+    print(run().rendered())

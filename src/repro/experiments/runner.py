@@ -1,0 +1,54 @@
+"""Experiment registry and batch runner."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from repro.experiments.common import ExperimentConfig, ExperimentResult
+
+__all__ = ["EXPERIMENTS", "run_experiment", "run_all"]
+
+
+def _registry() -> Dict[str, Callable[[ExperimentConfig], ExperimentResult]]:
+    from repro.experiments import (
+        ext_alpha,
+        ext_sensitivity,
+        fig1_tradeoffs,
+        fig2_twocore,
+        fig6_energy,
+        fig7_qos,
+        fig8_violation_dist,
+        fig9_model_effect,
+        overheads_table,
+        table1_config,
+        table2_categories,
+    )
+
+    return {
+        "table1": table1_config.run,
+        "table2": table2_categories.run,
+        "fig1": fig1_tradeoffs.run,
+        "fig2": fig2_twocore.run,
+        "fig6": fig6_energy.run,
+        "fig7": fig7_qos.run,
+        "fig8": fig8_violation_dist.run,
+        "fig9": fig9_model_effect.run,
+        "overheads": overheads_table.run,
+        "ext-sensitivity": ext_sensitivity.run,
+        "ext-alpha": ext_alpha.run,
+    }
+
+
+EXPERIMENTS = tuple(_registry().keys())
+
+
+def run_experiment(name: str, cfg: ExperimentConfig | None = None) -> ExperimentResult:
+    registry = _registry()
+    if name not in registry:
+        raise ValueError(f"unknown experiment {name!r}; options: {sorted(registry)}")
+    return registry[name](cfg or ExperimentConfig())
+
+
+def run_all(cfg: ExperimentConfig | None = None) -> List[ExperimentResult]:
+    cfg = cfg or ExperimentConfig()
+    return [run_experiment(name, cfg) for name in EXPERIMENTS]

@@ -1,0 +1,22 @@
+"""Phase analysis (the SimPoint stand-in).
+
+The paper's methodology runs SimPoint over each benchmark to obtain (a) a
+*phase trace* — the phase id of every consecutive execution interval — and
+(b) per-phase *weights* used as probabilities in the QoS study.  Synthetic
+applications carry their true phase pattern, so this subpackage provides the
+methodology itself: per-interval feature extraction, seeded k-means
+clustering, and representative/weight selection — and is validated by
+recovering the ground-truth phase structure of the synthetic suite.
+"""
+
+from repro.phases.features import interval_feature_matrix
+from repro.phases.kmeans import KMeansResult, kmeans
+from repro.phases.simpoint import PhaseTrace, SimPointAnalysis
+
+__all__ = [
+    "interval_feature_matrix",
+    "kmeans",
+    "KMeansResult",
+    "SimPointAnalysis",
+    "PhaseTrace",
+]

@@ -1,0 +1,98 @@
+"""Seeded k-means with k-means++ initialisation (no sklearn offline).
+
+Small, deterministic, vectorised — sufficient for clustering a few hundred
+interval feature vectors into a handful of phases, which is all SimPoint
+needs here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["KMeansResult", "kmeans"]
+
+
+@dataclass(frozen=True)
+class KMeansResult:
+    """Clustering outcome.
+
+    Attributes
+    ----------
+    centroids:
+        ``float[k, d]``.
+    labels:
+        ``int[n]`` cluster index per point.
+    inertia:
+        Sum of squared distances to assigned centroids.
+    """
+
+    centroids: np.ndarray
+    labels: np.ndarray
+    inertia: float
+
+    @property
+    def k(self) -> int:
+        return self.centroids.shape[0]
+
+
+def _init_plus_plus(x: np.ndarray, k: int, rng: np.random.Generator) -> np.ndarray:
+    n = x.shape[0]
+    centroids = np.empty((k, x.shape[1]))
+    centroids[0] = x[rng.integers(n)]
+    d2 = np.sum((x - centroids[0]) ** 2, axis=1)
+    for j in range(1, k):
+        total = d2.sum()
+        if total <= 0:  # all points identical to chosen centroids
+            centroids[j:] = centroids[0]
+            break
+        probs = d2 / total
+        centroids[j] = x[rng.choice(n, p=probs)]
+        d2 = np.minimum(d2, np.sum((x - centroids[j]) ** 2, axis=1))
+    return centroids
+
+
+def kmeans(
+    x: np.ndarray,
+    k: int,
+    rng: np.random.Generator | None = None,
+    max_iter: int = 100,
+    tol: float = 1e-8,
+) -> KMeansResult:
+    """Lloyd's algorithm with k-means++ seeding.
+
+    Empty clusters are re-seeded to the farthest point, so exactly ``k``
+    clusters always survive when the data has at least ``k`` distinct
+    points.
+    """
+    x = np.asarray(x, dtype=float)
+    if x.ndim != 2 or x.shape[0] == 0:
+        raise ValueError("x must be a non-empty 2-D array")
+    n = x.shape[0]
+    if not 1 <= k <= n:
+        raise ValueError(f"k must be in 1..{n}")
+    rng = rng or np.random.default_rng(0)
+
+    centroids = _init_plus_plus(x, k, rng)
+    labels = np.zeros(n, dtype=int)
+    for _ in range(max_iter):
+        d2 = ((x[:, None, :] - centroids[None, :, :]) ** 2).sum(axis=2)
+        labels = np.argmin(d2, axis=1)
+        new_centroids = centroids.copy()
+        for j in range(k):
+            members = x[labels == j]
+            if members.size:
+                new_centroids[j] = members.mean(axis=0)
+            else:
+                # re-seed an empty cluster to the worst-served point
+                worst = int(np.argmax(d2[np.arange(n), labels]))
+                new_centroids[j] = x[worst]
+        shift = float(np.max(np.abs(new_centroids - centroids)))
+        centroids = new_centroids
+        if shift < tol:
+            break
+    d2 = ((x[:, None, :] - centroids[None, :, :]) ** 2).sum(axis=2)
+    labels = np.argmin(d2, axis=1)
+    inertia = float(d2[np.arange(n), labels].sum())
+    return KMeansResult(centroids=centroids, labels=labels, inertia=inertia)

@@ -1,0 +1,123 @@
+"""SimPoint-style phase analysis.
+
+Given an application's per-interval feature vectors, the analysis
+
+1. clusters them with k-means for each candidate ``k``,
+2. picks ``k`` by a BIC-flavoured score (SimPoint's criterion),
+3. selects the interval closest to each centroid as the phase
+   *representative* (the interval one would simulate in detail), and
+4. reports cluster weights — the phase probabilities used by the paper's
+   QoS-violation estimation.
+
+The output :class:`PhaseTrace` has the same shape as the ground-truth phase
+pattern carried by :class:`~repro.trace.spec.AppSpec`, so recovery quality
+is directly testable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+from repro.phases.features import interval_feature_matrix
+from repro.phases.kmeans import KMeansResult, kmeans
+from repro.trace.spec import AppSpec
+
+__all__ = ["PhaseTrace", "SimPointAnalysis"]
+
+
+@dataclass(frozen=True)
+class PhaseTrace:
+    """Recovered phase structure of one application.
+
+    Attributes
+    ----------
+    labels:
+        Phase id per interval.
+    representatives:
+        Interval index chosen as each phase's representative.
+    weights:
+        Fraction of intervals per phase (sums to 1).
+    """
+
+    labels: np.ndarray
+    representatives: np.ndarray
+    weights: np.ndarray
+
+    @property
+    def n_phases(self) -> int:
+        return len(self.weights)
+
+    def __post_init__(self) -> None:
+        if abs(float(self.weights.sum()) - 1.0) > 1e-9:
+            raise ValueError("weights must sum to 1")
+        if len(self.representatives) != len(self.weights):
+            raise ValueError("one representative per phase required")
+
+
+class SimPointAnalysis:
+    """Cluster interval features into phases.
+
+    Parameters
+    ----------
+    max_k:
+        Largest phase count considered.
+    bic_threshold:
+        SimPoint picks the smallest ``k`` whose score reaches this fraction
+        of the best score over all ``k``.
+    seed:
+        RNG seed for clustering restarts.
+    """
+
+    def __init__(self, max_k: int = 8, bic_threshold: float = 0.9, seed: int = 7):
+        if max_k < 1:
+            raise ValueError("max_k must be >= 1")
+        if not 0 < bic_threshold <= 1:
+            raise ValueError("bic_threshold must be in (0, 1]")
+        self.max_k = max_k
+        self.bic_threshold = bic_threshold
+        self.seed = seed
+
+    # ------------------------------------------------------------------
+    def _bic(self, result: KMeansResult, n: int, d: int) -> float:
+        """BIC-style score: likelihood term minus complexity penalty."""
+        variance = max(result.inertia / max(n - result.k, 1), 1e-12)
+        log_likelihood = -0.5 * n * np.log(variance)
+        penalty = 0.5 * result.k * (d + 1) * np.log(n)
+        return log_likelihood - penalty
+
+    def analyse_features(self, features: np.ndarray) -> PhaseTrace:
+        """Cluster a feature matrix and build the phase trace."""
+        x = np.asarray(features, dtype=float)
+        n, d = x.shape
+        max_k = min(self.max_k, n)
+        rng = np.random.default_rng(self.seed)
+
+        results: list[Tuple[KMeansResult, float]] = []
+        for k in range(1, max_k + 1):
+            res = kmeans(x, k, rng=np.random.default_rng(rng.integers(2**32)))
+            results.append((res, self._bic(res, n, d)))
+        scores = np.array([s for _, s in results])
+        best = scores.max()
+        # smallest k reaching the threshold of the best score
+        target = best - (1.0 - self.bic_threshold) * abs(best)
+        chosen_idx = int(np.argmax(scores >= target))
+        chosen = results[chosen_idx][0]
+
+        reps = np.empty(chosen.k, dtype=int)
+        for j in range(chosen.k):
+            members = np.nonzero(chosen.labels == j)[0]
+            d2 = ((x[members] - chosen.centroids[j]) ** 2).sum(axis=1)
+            reps[j] = members[int(np.argmin(d2))]
+        weights = np.bincount(chosen.labels, minlength=chosen.k) / float(n)
+        return PhaseTrace(labels=chosen.labels, representatives=reps, weights=weights)
+
+    def analyse_app(
+        self, app: AppSpec, noise: float = 0.02, seed: int | None = None
+    ) -> PhaseTrace:
+        """Featurise and cluster one synthetic application."""
+        rng = np.random.default_rng(self.seed if seed is None else seed)
+        features = interval_feature_matrix(app, noise=noise, rng=rng)
+        return self.analyse_features(features)

@@ -1,0 +1,15 @@
+"""Power and energy substrate (the McPAT stand-in).
+
+Parametric models for core dynamic/static power versus (core size, V, f),
+DRAM and LLC access energy, uncore power, and DVFS transition costs.  Only
+*relative* energies matter for the paper's figures (all results are savings
+versus the idle RM), so the models aim for the paper's qualitative
+structure: quadratic voltage cost, roughly linear core-size cost, constant
+per-access memory energy.
+"""
+
+from repro.power.model import PowerModel
+from repro.power.energy import EnergyBreakdown
+from repro.power.dvfs import DVFSController, TransitionCost
+
+__all__ = ["PowerModel", "EnergyBreakdown", "DVFSController", "TransitionCost"]

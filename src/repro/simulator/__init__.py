@@ -1,0 +1,16 @@
+"""The multi-core RM simulator (the paper's Fig. 5 machinery).
+
+Replays each application's phase trace against the simulation database: each
+core progresses through fixed-length instruction intervals at the TPI of its
+current (phase, setting); at every per-core interval boundary the RM is
+invoked, new settings are applied system-wide, and enforcement overheads
+(RM instructions, DVFS switches, resize drains) are charged.  Energy is
+accounted per application until it completes its instruction horizon, plus
+uncore energy until the end of simulation (Section IV-D).
+"""
+
+from repro.simulator.metrics import SimResult, energy_savings
+from repro.simulator.rmsim import MulticoreRMSimulator
+from repro.simulator.events import next_boundary
+
+__all__ = ["MulticoreRMSimulator", "SimResult", "energy_savings", "next_boundary"]

@@ -1,0 +1,309 @@
+"""The multi-core RM simulator.
+
+A fluid event-driven model of Fig. 5: every core executes 100M-instruction
+intervals whose duration comes from the database TPI at the core's current
+(phase, setting).  At each per-core interval boundary the RM is invoked with
+that interval's hardware counters and ATD report; the returned system-wide
+setting is applied immediately (mid-interval for the other cores — their
+progress rates simply change), and enforcement overheads are charged:
+
+* RM execution — extra instructions on the invoking core (its IPC and
+  frequency price them into stall time and dynamic energy),
+* DVFS switches — 15 us / 3 uJ per core whose V/f changed,
+* core resizing — a pipeline-drain stall.
+
+Energy integrates continuously: dynamic core + memory energy are
+work-proportional (per instruction at the current setting), static power
+accrues over wall-clock time including stalls.  Accounting for each core
+stops at the instruction horizon; simulation (and uncore energy) continues
+until every core reaches it (Section IV-D1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.cache.partition import RepartitionTransient
+from repro.config import Setting, SystemConfig
+from repro.core.managers import ResourceManager
+from repro.core.overheads import RMCostModel
+from repro.core.perf_models import ModelInputs
+from repro.database.builder import SimDatabase
+from repro.database.records import PhaseRecord
+from repro.power.dvfs import DVFSController
+from repro.power.energy import EnergyBreakdown
+from repro.simulator.events import next_boundary
+from repro.simulator.metrics import SettingChange, SimResult
+
+__all__ = ["MulticoreRMSimulator"]
+
+#: Violations smaller than this relative slack are float noise, not QoS misses.
+_VIOLATION_EPS = 1e-6
+
+
+@dataclass
+class _CoreRun:
+    """Mutable per-core execution state."""
+
+    core_id: int
+    app_name: str
+    interval: int
+    record: PhaseRecord
+    setting: Setting
+    instr_done: float = 0.0
+    stall_s: float = 0.0
+    interval_elapsed_s: float = 0.0
+    total_instr: float = 0.0
+    energy: EnergyBreakdown = None  # type: ignore[assignment]
+    finished: bool = False
+    # cached rates for the current (record, setting)
+    tpi_s: float = 0.0
+    work_j_per_inst: float = 0.0
+    static_w: float = 0.0
+    ipc: float = 1.0
+    epi_j: float = 0.0
+
+    def refresh_rates(self) -> None:
+        rec, s = self.record, self.setting
+        self.tpi_s = rec.tpi_at(s)
+        c, fi, wi = int(s.core), rec.f_index(s.f_ghz), rec.w_index(s.ways)
+        n = rec.n_instructions
+        self.epi_j = float(rec.core_dyn_grid[c, fi]) / n
+        self.work_j_per_inst = self.epi_j + float(rec.mem_energy_curve[wi]) / n
+        self.static_w = float(rec.core_static_power_grid[c, fi])
+        counters_ipc = n / (rec.time_grid[c, fi, wi] * s.f_ghz * 1e9)
+        self.ipc = max(float(counters_ipc), 1e-3)
+
+    @property
+    def remaining_instr(self) -> float:
+        # instr_done may overshoot by the advance clamp's epsilon; never
+        # report negative work.
+        return max(self.record.n_instructions - self.instr_done, 0.0)
+
+
+class MulticoreRMSimulator:
+    """Drives one workload under one resource manager.
+
+    Parameters
+    ----------
+    db:
+        Simulation database (must cover every workload application).
+    rm:
+        The resource manager (Idle, RM1, RM2 or RM3 with any model).
+    cost_model:
+        Converts optimiser operation counts to RM instruction overhead.
+    charge_overheads:
+        Disable to reproduce the paper's "perfect ... overheads" studies
+        (Fig. 2 uses perfect models *and* no overheads).
+    """
+
+    def __init__(
+        self,
+        db: SimDatabase,
+        rm: ResourceManager,
+        cost_model: RMCostModel | None = None,
+        dvfs_controller: DVFSController | None = None,
+        repartition_transient: RepartitionTransient | None = None,
+        charge_overheads: bool = True,
+        collect_history: bool = False,
+    ):
+        self.db = db
+        self.system: SystemConfig = db.system
+        self.rm = rm
+        self.cost_model = cost_model or RMCostModel()
+        self.dvfs = dvfs_controller or DVFSController(self.system.dvfs)
+        self.repartition = repartition_transient or RepartitionTransient(
+            way_kb=self.system.cache.way_kb(),
+            block_bytes=self.system.cache.block_bytes,
+        )
+        self.charge_overheads = charge_overheads
+        self.collect_history = collect_history
+
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        apps: Sequence[str],
+        horizon_intervals: Optional[int] = None,
+        max_events: int = 1_000_000,
+    ) -> SimResult:
+        """Simulate one workload to its instruction horizon.
+
+        Parameters
+        ----------
+        apps:
+            One application name per core.
+        horizon_intervals:
+            Override the horizon (defaults to the longest application's
+            pass length, the paper's "longest application" rule).
+        """
+        system = self.system
+        if len(apps) != system.n_cores:
+            raise ValueError(
+                f"workload has {len(apps)} apps for {system.n_cores} cores"
+            )
+        for name in apps:
+            if name not in self.db.records:
+                raise KeyError(f"application {name!r} not in database")
+        self.rm.reset()
+
+        n_interval = system.scale.interval_instructions
+        if horizon_intervals is None:
+            horizon_intervals = max(self.db.apps[name].n_intervals for name in apps)
+        horizon = float(horizon_intervals) * n_interval
+
+        baseline = system.baseline_setting()
+        cores: List[_CoreRun] = []
+        for cid, name in enumerate(apps):
+            run = _CoreRun(
+                core_id=cid,
+                app_name=name,
+                interval=0,
+                record=self.db.record_for_interval(name, 0),
+                setting=baseline,
+                energy=EnergyBreakdown(),
+            )
+            run.refresh_rates()
+            cores.append(run)
+
+        t = 0.0
+        intervals_completed = 0
+        qos_checks = 0
+        violations: List[float] = []
+        rm_invocations = 0
+        rm_instructions = 0.0
+        history: Optional[List[SettingChange]] = [] if self.collect_history else None
+
+        for _ in range(max_events):
+            if all(c.finished for c in cores):
+                break
+            boundary = next_boundary(
+                [c.stall_s for c in cores],
+                [c.remaining_instr for c in cores],
+                [c.tpi_s for c in cores],
+            )
+            dt = boundary.dt_s
+            self._advance_all(cores, dt, horizon)
+            t += dt
+
+            # Interval boundary on the triggering core.
+            core = cores[boundary.core_id]
+            elapsed = core.interval_elapsed_s
+            base_time = core.record.time_at(baseline)
+            if not core.finished:
+                qos_checks += 1
+                alpha = self._alpha_for(core.core_id)
+                rel = (elapsed - base_time * alpha) / base_time
+                if rel > _VIOLATION_EPS:
+                    violations.append(rel)
+            intervals_completed += 1
+
+            # Move to the next interval before asking the RM, so the Perfect
+            # model sees the true next phase.
+            counters = core.record.counters_at(core.setting)
+            atd = core.record.atd_report()
+            core.interval += 1
+            core.instr_done = 0.0
+            core.interval_elapsed_s = 0.0
+            core.record = self.db.record_for_interval(core.app_name, core.interval)
+
+            inputs = ModelInputs(
+                counters=counters, atd=atd, next_record=core.record
+            )
+            decision = self.rm.observe(core.core_id, inputs)
+            rm_invocations += 1
+
+            if self.charge_overheads and (
+                decision.local_evaluations or decision.dp_operations
+            ):
+                instr = self.cost_model.instructions(
+                    system.n_cores,
+                    decision.local_evaluations,
+                    decision.dp_operations,
+                )
+                rm_instructions += instr
+                core.stall_s += self.cost_model.time_overhead_s(
+                    instr, core.ipc, core.setting.f_ghz
+                )
+                if not core.finished:
+                    core.energy.overhead_j += instr * core.epi_j
+
+            for c in cores:
+                new_setting = decision.settings[c.core_id]
+                if new_setting != c.setting:
+                    if self.charge_overheads:
+                        cost = self.dvfs.transition_cost(c.setting, new_setting)
+                        stall_s, energy_j = self.repartition.cost(
+                            new_setting.ways - c.setting.ways,
+                            self.system.memory.base_latency_s,
+                            self.system.memory.access_energy_nj * 1e-9,
+                        )
+                        c.stall_s += cost.time_s + stall_s
+                        if not c.finished:
+                            c.energy.overhead_j += cost.energy_j + energy_j
+                    c.setting = new_setting
+                    if history is not None:
+                        history.append(SettingChange(t, c.core_id, new_setting))
+                c.refresh_rates()
+        else:
+            raise RuntimeError("simulation exceeded max_events; check inputs")
+
+        uncore_power = (
+            self.rm.energy_model.power.uncore_power_w(system.n_cores)
+            if hasattr(self.rm, "energy_model")
+            else 0.0
+        )
+        return SimResult(
+            rm_name=self.rm.name,
+            apps=tuple(apps),
+            per_core_energy=[c.energy for c in cores],
+            uncore_j=uncore_power * t,
+            t_end_s=t,
+            horizon_instructions=horizon,
+            intervals_completed=intervals_completed,
+            qos_checks=qos_checks,
+            violations=violations,
+            rm_invocations=rm_invocations,
+            rm_instructions=rm_instructions,
+            history=history,
+        )
+
+    # ------------------------------------------------------------------
+    def _alpha_for(self, core_id: int) -> float:
+        """Violation threshold for one core (per-core QoS when the RM
+        defines it, the system default otherwise)."""
+        qos_for = getattr(self.rm, "qos_for", None)
+        if qos_for is None:
+            return self.system.qos_alpha
+        return qos_for(core_id).alpha
+
+    def _advance_all(self, cores: List[_CoreRun], dt: float, horizon: float) -> None:
+        """Advance every core by ``dt`` seconds of wall-clock time."""
+        if dt < 0:
+            raise ValueError("dt must be non-negative")
+        for c in cores:
+            served_stall = min(c.stall_s, dt)
+            run_time = dt - served_stall
+            c.stall_s -= served_stall
+            d_instr = run_time / c.tpi_s if run_time > 0 else 0.0
+            # Clamp float drift at the boundary.
+            d_instr = min(d_instr, c.remaining_instr + 1e-6)
+
+            if not c.finished:
+                if c.total_instr + d_instr >= horizon and d_instr > 0:
+                    counted = max(horizon - c.total_instr, 0.0)
+                    frac = counted / d_instr if d_instr > 0 else 0.0
+                    c.energy.core_dynamic_j += c.epi_j * counted
+                    c.energy.memory_j += (c.work_j_per_inst - c.epi_j) * counted
+                    c.energy.core_static_j += c.static_w * dt * frac
+                    c.finished = True
+                else:
+                    c.energy.core_dynamic_j += c.epi_j * d_instr
+                    c.energy.memory_j += (c.work_j_per_inst - c.epi_j) * d_instr
+                    c.energy.core_static_j += c.static_w * dt
+                    if d_instr == 0.0 and c.total_instr >= horizon:
+                        c.finished = True
+
+            c.instr_done += d_instr
+            c.total_instr += d_instr
+            c.interval_elapsed_s += dt

@@ -1,0 +1,113 @@
+"""The LLC access-stream container shared by the cache, ATD and core models.
+
+An :class:`AccessStream` is a struct-of-arrays record of every access a
+program phase makes to the shared LLC (i.e. every private-L2 miss), in
+program order, together with the metadata the various consumers need:
+
+* the **ground-truth simulator** (``repro.microarch``) walks the stream in
+  program order using true dependence links,
+* the **ATD** (``repro.atd``) walks it in *arrival order* — the emulated
+  out-of-order completion order — and must infer dependences from arrival
+  inversions exactly as the paper's Fig. 4 hardware does,
+* the **cache models** replay the addresses to measure recency histograms.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["FRESH", "AccessStream"]
+
+#: Recency code for an access that misses at every allocation
+#: (compulsory / beyond-maximum-ways capacity miss).
+FRESH = 0
+
+
+@dataclass(frozen=True)
+class AccessStream:
+    """A program-ordered LLC access stream for one phase sample.
+
+    Attributes
+    ----------
+    inst_index:
+        ``int64[n]`` — program-order instruction index of each access within
+        the sampled window (strictly increasing).
+    set_index:
+        ``int32[n]`` — cache set of the access.
+    tag:
+        ``int64[n]`` — line tag within the set (set, tag) identifies a line.
+    recency:
+        ``int16[n]`` — realised LRU recency position in the (16-way) stack of
+        its set: ``r >= 1`` hits any allocation ``w >= r``;
+        :data:`FRESH` (0) misses everywhere.
+    dep_prev:
+        ``int64[n]`` — index (into this stream) of the access whose loaded
+        value this access needs before it can issue, or ``-1`` if
+        independent.  Dependences only ever point backwards.
+    arrival_order:
+        ``int64[n]`` — permutation of ``0..n-1`` giving the order accesses
+        reach the LLC/ATD after out-of-order execution (dependent loads are
+        delayed past younger independent ones).
+    n_instructions:
+        Total instructions in the sampled window (span of ``inst_index``).
+    """
+
+    inst_index: np.ndarray
+    set_index: np.ndarray
+    tag: np.ndarray
+    recency: np.ndarray
+    dep_prev: np.ndarray
+    arrival_order: np.ndarray
+    n_instructions: int
+
+    def __post_init__(self) -> None:
+        n = len(self.inst_index)
+        for name in ("set_index", "tag", "recency", "dep_prev", "arrival_order"):
+            if len(getattr(self, name)) != n:
+                raise ValueError(f"{name} length mismatch ({len(getattr(self, name))} != {n})")
+        if n:
+            if not np.all(np.diff(self.inst_index) > 0):
+                raise ValueError("inst_index must be strictly increasing (program order)")
+            if self.n_instructions < int(self.inst_index[-1]) + 1:
+                raise ValueError("n_instructions smaller than last instruction index")
+            order = np.sort(self.arrival_order)
+            if not np.array_equal(order, np.arange(n)):
+                raise ValueError("arrival_order must be a permutation of 0..n-1")
+            bad_dep = (self.dep_prev >= np.arange(n)) & (self.dep_prev != -1)
+            if np.any(bad_dep):
+                raise ValueError("dep_prev must point strictly backwards or be -1")
+
+    def __len__(self) -> int:
+        return len(self.inst_index)
+
+    @property
+    def n_accesses(self) -> int:
+        return len(self.inst_index)
+
+    def misses_at(self, ways: int) -> np.ndarray:
+        """Boolean mask of accesses that miss under a ``ways`` allocation."""
+        if ways < 1:
+            raise ValueError("ways must be >= 1")
+        return (self.recency == FRESH) | (self.recency > ways)
+
+    def miss_counts(self, max_ways: int = 16) -> np.ndarray:
+        """Miss counts for allocations ``1..max_ways`` (vectorised).
+
+        The recency semantics make the miss set nested: an access missing at
+        ``w`` also misses at every smaller allocation, so the curve is
+        non-increasing by construction.
+        """
+        hist = np.bincount(
+            np.clip(self.recency.astype(np.int64), 0, max_ways + 1),
+            minlength=max_ways + 2,
+        )
+        n = self.n_accesses
+        # hits(w) = number of accesses with 1 <= recency <= w
+        hits = np.cumsum(hist[1 : max_ways + 1])
+        return (n - hits).astype(np.int64)
+
+    def in_arrival_order(self) -> np.ndarray:
+        """Stream positions sorted by arrival order (what the ATD sees)."""
+        return np.argsort(self.arrival_order, kind="stable")

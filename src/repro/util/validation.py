@@ -1,0 +1,37 @@
+"""Argument validation helpers shared across the library."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["check_positive", "check_fraction", "check_probability_vector"]
+
+
+def check_positive(name: str, value: float) -> float:
+    """Validate ``value > 0``, returning it for inline use."""
+    if not value > 0:
+        raise ValueError(f"{name} must be positive, got {value!r}")
+    return value
+
+
+def check_fraction(name: str, value: float, *, inclusive: bool = True) -> float:
+    """Validate ``value`` lies in [0, 1] (or (0, 1) when not inclusive)."""
+    lo_ok = value >= 0 if inclusive else value > 0
+    hi_ok = value <= 1 if inclusive else value < 1
+    if not (lo_ok and hi_ok):
+        bounds = "[0, 1]" if inclusive else "(0, 1)"
+        raise ValueError(f"{name} must be in {bounds}, got {value!r}")
+    return value
+
+
+def check_probability_vector(name: str, values) -> np.ndarray:
+    """Validate a non-negative vector summing to 1 (within tolerance)."""
+    arr = np.asarray(values, dtype=float)
+    if arr.ndim != 1 or arr.size == 0:
+        raise ValueError(f"{name} must be a non-empty 1-D vector")
+    if np.any(arr < -1e-12):
+        raise ValueError(f"{name} must be non-negative")
+    total = float(arr.sum())
+    if abs(total - 1.0) > 1e-6:
+        raise ValueError(f"{name} must sum to 1, got {total}")
+    return arr / total

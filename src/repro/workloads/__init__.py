@@ -1,0 +1,42 @@
+"""Workloads: application categories, the calibrated suite, scenario mixes.
+
+``categories``  — the CS/CI x PS/PI classification rules (Section IV-C).
+``suite``       — 27 synthetic applications calibrated to land in the same
+                  Table II categories as their SPEC CPU2006 namesakes.
+``scenarios``   — the four workload scenarios of Fig. 1 with their
+                  probability weights.
+``mixes``       — scenario-constrained random workload generation for
+                  2/4/8-core systems (Section IV-C's procedure).
+"""
+
+from repro.workloads.categories import (
+    Category,
+    CategoryThresholds,
+    classify_app,
+    classify_suite,
+)
+from repro.workloads.suite import TABLE2_CATEGORIES, spec_suite
+from repro.workloads.scenarios import (
+    SCENARIO_CELLS,
+    category_probabilities,
+    cell_probability_table,
+    scenario_of_pair,
+    scenario_weights,
+)
+from repro.workloads.mixes import WorkloadMix, generate_workloads
+
+__all__ = [
+    "Category",
+    "CategoryThresholds",
+    "classify_app",
+    "classify_suite",
+    "spec_suite",
+    "TABLE2_CATEGORIES",
+    "SCENARIO_CELLS",
+    "scenario_of_pair",
+    "scenario_weights",
+    "category_probabilities",
+    "cell_probability_table",
+    "WorkloadMix",
+    "generate_workloads",
+]

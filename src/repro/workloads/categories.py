@@ -1,0 +1,105 @@
+"""Application categorisation (Section IV-C of the paper).
+
+Two binary attributes, evaluated on the simulation database:
+
+* **Cache sensitivity (CS/CI)** — an application is Cache Sensitive if the
+  MPKI variation across a +/-50% change of the baseline LLC allocation
+  (8 ways -> 4 and 12 ways) exceeds 20% of the baseline MPKI, *and* the
+  baseline MPKI is at least 0.2.
+* **Parallelism sensitivity (PS/PI)** — reduced to MLP (the paper's
+  simplification): Parallelism Sensitive if the MLP variation from the S to
+  the L core exceeds 30% of the baseline (M) core's MLP, *and* the MLP on
+  the L core is at least 2.  Measured at the baseline allocation and VF.
+
+Per-application statistics are the phase-weight-weighted averages over the
+application's phases (SimPoint weights).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Dict
+
+from repro.config import CoreSize
+from repro.database.builder import SimDatabase
+
+__all__ = ["Category", "CategoryThresholds", "classify_app", "classify_suite"]
+
+
+class Category(Enum):
+    """The four quadrants of Fig. 1 / Table II."""
+
+    CS_PS = "CS-PS"
+    CS_PI = "CS-PI"
+    CI_PS = "CI-PS"
+    CI_PI = "CI-PI"
+
+    @property
+    def cache_sensitive(self) -> bool:
+        return self in (Category.CS_PS, Category.CS_PI)
+
+    @property
+    def parallelism_sensitive(self) -> bool:
+        return self in (Category.CS_PS, Category.CI_PS)
+
+    @staticmethod
+    def of(cache_sensitive: bool, parallelism_sensitive: bool) -> "Category":
+        if cache_sensitive:
+            return Category.CS_PS if parallelism_sensitive else Category.CS_PI
+        return Category.CI_PS if parallelism_sensitive else Category.CI_PI
+
+
+@dataclass(frozen=True)
+class CategoryThresholds:
+    """The numeric thresholds of Section IV-C."""
+
+    mpki_variation: float = 0.20
+    mpki_min: float = 0.20
+    mlp_variation: float = 0.30
+    mlp_min: float = 2.0
+    baseline_ways: int = 8
+    reduced_ways: int = 4
+    increased_ways: int = 12
+
+
+def _weighted_phase_average(db: SimDatabase, app: str, fn) -> float:
+    spec = db.apps[app]
+    weights = spec.phase_weights()
+    return sum(w * fn(rec) for w, rec in zip(weights, db.records[app]))
+
+
+def classify_app(
+    db: SimDatabase, app: str, thresholds: CategoryThresholds | None = None
+) -> Category:
+    """Classify one application from its database records."""
+    th = thresholds or CategoryThresholds()
+
+    mpki_base = _weighted_phase_average(db, app, lambda r: r.mpki_at(th.baseline_ways))
+    mpki_lo = _weighted_phase_average(db, app, lambda r: r.mpki_at(th.reduced_ways))
+    mpki_hi = _weighted_phase_average(db, app, lambda r: r.mpki_at(th.increased_ways))
+    cache_sensitive = False
+    if mpki_base >= th.mpki_min:
+        variation = max(abs(mpki_lo - mpki_base), abs(mpki_hi - mpki_base))
+        cache_sensitive = variation > th.mpki_variation * mpki_base
+
+    mlp_s = _weighted_phase_average(
+        db, app, lambda r: r.mlp_at(CoreSize.S, th.baseline_ways)
+    )
+    mlp_m = _weighted_phase_average(
+        db, app, lambda r: r.mlp_at(CoreSize.M, th.baseline_ways)
+    )
+    mlp_l = _weighted_phase_average(
+        db, app, lambda r: r.mlp_at(CoreSize.L, th.baseline_ways)
+    )
+    parallelism_sensitive = (
+        mlp_l >= th.mlp_min and (mlp_l - mlp_s) > th.mlp_variation * mlp_m
+    )
+    return Category.of(cache_sensitive, parallelism_sensitive)
+
+
+def classify_suite(
+    db: SimDatabase, thresholds: CategoryThresholds | None = None
+) -> Dict[str, Category]:
+    """Classify every application in the database (Table II)."""
+    return {app: classify_app(db, app, thresholds) for app in db.app_names()}

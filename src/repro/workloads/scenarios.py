@@ -1,0 +1,117 @@
+"""The four workload scenarios of Fig. 1 and their probabilities.
+
+Fig. 1 groups the ten unordered category pairs into four scenarios:
+
+* **Scenario 1** (RM3 beats RM2): every pair containing a CS-PS
+  application, plus the (CI-PS, CS-PI) pair.
+* **Scenario 2** (RM2 and RM3 comparable): (CI-PI, CS-PI) and
+  (CS-PI, CS-PI).
+* **Scenario 3** (only RM3 effective): (CI-PI, CI-PS) and (CI-PS, CI-PS).
+* **Scenario 4** (neither effective): (CI-PI, CI-PI).
+
+Two probability notions appear in the paper and both are reproduced here:
+the *cell* values printed inside Fig. 1 are single products ``p_A * p_B`` of
+the category frequencies (upper triangle, not doubled), while the *scenario
+weights* used to average Fig. 6 (47% / 22.1% / 22.1% / 8.8%) are proper
+unordered-pair probabilities (off-diagonal cells doubled), which sum to 1.
+With the Table II counts (5/7/7/8 of 27) both sets of numbers match the
+paper's to the printed precision.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Mapping, Tuple
+
+from repro.workloads.categories import Category
+
+__all__ = [
+    "SCENARIO_CELLS",
+    "scenario_of_pair",
+    "category_counts_from",
+    "category_probabilities",
+    "cell_probability_table",
+    "scenario_weights",
+    "PAPER_SCENARIO_WEIGHTS",
+]
+
+#: Scenario id -> the unordered category pairs it contains.
+SCENARIO_CELLS: Mapping[int, Tuple[FrozenSet[Category], ...]] = {
+    1: (
+        frozenset({Category.CI_PI, Category.CS_PS}),
+        frozenset({Category.CI_PS, Category.CS_PS}),
+        frozenset({Category.CS_PI, Category.CS_PS}),
+        frozenset({Category.CS_PS}),
+        frozenset({Category.CI_PS, Category.CS_PI}),
+    ),
+    2: (
+        frozenset({Category.CI_PI, Category.CS_PI}),
+        frozenset({Category.CS_PI}),
+    ),
+    3: (
+        frozenset({Category.CI_PI, Category.CI_PS}),
+        frozenset({Category.CI_PS}),
+    ),
+    4: (frozenset({Category.CI_PI}),),
+}
+
+#: The weights the paper uses to average Fig. 6 (Section V-A).
+PAPER_SCENARIO_WEIGHTS: Mapping[int, float] = {1: 0.47, 2: 0.221, 3: 0.221, 4: 0.088}
+
+
+def scenario_of_pair(a: Category, b: Category) -> int:
+    """Scenario id of an unordered category pair."""
+    pair = frozenset({a, b})
+    for scenario, cells in SCENARIO_CELLS.items():
+        if pair in cells:
+            return scenario
+    raise ValueError(f"pair ({a}, {b}) not covered by any scenario")
+
+
+def category_counts_from(categories: Mapping[str, Category]) -> Dict[Category, int]:
+    """Number of applications per category (Table II counts)."""
+    counts = {c: 0 for c in Category}
+    for cat in categories.values():
+        counts[cat] += 1
+    return counts
+
+
+def category_probabilities(
+    counts: Mapping[Category, int],
+) -> Dict[Category, float]:
+    """Category frequencies ``p_C = count_C / total``."""
+    total = sum(counts.values())
+    if total <= 0:
+        raise ValueError("counts must be positive")
+    return {c: counts.get(c, 0) / total for c in Category}
+
+
+def cell_probability_table(
+    counts: Mapping[Category, int],
+) -> Dict[FrozenSet[Category], float]:
+    """Fig. 1's printed per-cell values: single products, upper triangle."""
+    p = category_probabilities(counts)
+    cats = list(Category)
+    cells: Dict[FrozenSet[Category], float] = {}
+    for i, a in enumerate(cats):
+        for b in cats[i:]:
+            cells[frozenset({a, b})] = p[a] * p[b]
+    return cells
+
+
+def scenario_weights(counts: Mapping[Category, int]) -> Dict[int, float]:
+    """Unordered-pair scenario probabilities (sum to 1).
+
+    Diagonal cells contribute ``p^2``; off-diagonal cells ``2 p_A p_B``.
+    """
+    p = category_probabilities(counts)
+    weights: Dict[int, float] = {}
+    for scenario, cells in SCENARIO_CELLS.items():
+        total = 0.0
+        for cell in cells:
+            members = sorted(cell, key=lambda c: c.value)
+            if len(members) == 1:
+                total += p[members[0]] ** 2
+            else:
+                total += 2.0 * p[members[0]] * p[members[1]]
+        weights[scenario] = total
+    return weights

@@ -1,0 +1,158 @@
+"""Database tests: record consistency, builder, disk cache."""
+
+import numpy as np
+import pytest
+
+from repro.config import CoreSize, Setting
+from repro.database.builder import (
+    SimDatabase,
+    baseline_feasibility_check,
+    build_database,
+)
+from repro.database.store import (
+    database_fingerprint,
+    load_cached_database,
+    save_database_cache,
+)
+
+from conftest import mini_suite
+
+
+class TestPhaseRecord:
+    def test_shapes(self, mini_db):
+        for _spec, _i, _w, rec in mini_db.iter_phase_records():
+            n_sizes, n_freqs, n_ways = rec.shape_check()
+            assert (n_sizes, n_freqs, n_ways) == (3, 10, 16)
+
+    def test_time_lookup_matches_grid(self, mini_db, system2):
+        rec = mini_db.record("mini_csps", 0)
+        s = Setting(CoreSize.L, 1.5, 12)
+        fi = system2.dvfs.index_of(1.5)
+        assert rec.time_at(s) == rec.time_grid[2, fi, 11]
+
+    def test_tpi(self, mini_db, system2):
+        rec = mini_db.record("mini_csps", 0)
+        base = system2.baseline_setting()
+        assert rec.tpi_at(base) == pytest.approx(rec.time_at(base) / rec.n_instructions)
+
+    def test_energy_grid_matches_scalar(self, mini_db, system2):
+        rec = mini_db.record("mini_cips", 0)
+        grid = rec.energy_grid()
+        for s in (
+            system2.baseline_setting(),
+            Setting(CoreSize.S, 1.0, 2),
+            Setting(CoreSize.L, 3.25, 16),
+        ):
+            fi = system2.dvfs.index_of(s.f_ghz)
+            assert rec.energy_at(s) == pytest.approx(
+                float(grid[int(s.core), fi, s.ways - 1])
+            )
+
+    def test_counters_reconstruct_eq1_terms(self, mini_db, system2):
+        """T0 + T1 + Tmem must reassemble the measured time exactly."""
+        rec = mini_db.record("mini_csps", 1)
+        for s in (system2.baseline_setting(), Setting(CoreSize.L, 1.25, 4)):
+            c = rec.counters_at(s)
+            f_hz = s.f_ghz * 1e9
+            reassembled = (c.t0_cycles + c.t1_cycles) / f_hz + c.mem_time_s
+            assert reassembled == pytest.approx(c.time_s, rel=1e-9)
+
+    def test_measured_mlp_reasonable(self, mini_db, system2):
+        rec = mini_db.record("mini_cips", 0)
+        c = rec.counters_at(system2.baseline_setting())
+        assert 1.0 <= c.measured_mlp <= 64.0
+
+    def test_effective_latency_fallback(self, mini_db, system2):
+        rec = mini_db.record("mini_cipi", 0)
+        c = rec.counters_at(system2.baseline_setting())
+        assert c.effective_memory_latency_s(123.0) > 0
+        # a zero-LM counter set falls back
+        from dataclasses import replace
+
+        c0 = replace(c, lm_current=0.0)
+        assert c0.effective_memory_latency_s(123.0) == 123.0
+
+    def test_atd_report_consistent(self, mini_db):
+        rec = mini_db.record("mini_csps", 0)
+        report = rec.atd_report()
+        assert report.miss_curve.shape == (16,)
+        assert report.mlp.leading_misses.shape == (3, 16)
+        assert np.all(report.mlp.leading_misses <= report.miss_curve[None, :] + 1e-9)
+
+    def test_mpki_mlp_helpers(self, mini_db):
+        rec = mini_db.record("mini_csps", 0)
+        assert rec.mpki_at(8) == pytest.approx(rec.misses_at(8) / 1e5 * 1e3 / 1e3)
+        assert rec.mlp_at(CoreSize.L, 8) >= rec.mlp_at(CoreSize.S, 8) - 1e-9
+
+    def test_f_index_validation(self, mini_db):
+        rec = mini_db.record("mini_csps", 0)
+        with pytest.raises(ValueError):
+            rec.f_index(2.1)
+        with pytest.raises(ValueError):
+            rec.w_index(0)
+
+
+class TestBuilder:
+    def test_all_apps_built(self, mini_db):
+        assert set(mini_db.app_names()) == {
+            "mini_cipi", "mini_cips", "mini_cspi", "mini_csps",
+        }
+        assert len(mini_db.records["mini_csps"]) == 2
+
+    def test_record_for_interval_follows_pattern(self, mini_db):
+        spec = mini_db.apps["mini_csps"]
+        for i in range(10):
+            rec = mini_db.record_for_interval("mini_csps", i)
+            assert rec.phase == spec.phases[spec.phase_of_interval(i)].name
+
+    def test_phase_weights_in_iteration(self, mini_db):
+        weights = [w for _s, _i, w, _r in mini_db.iter_phase_records()]
+        # per-app weights sum to 1 -> total equals the app count
+        assert sum(weights) == pytest.approx(len(mini_db.apps))
+
+    def test_baseline_always_on_grid(self, mini_db):
+        baseline_feasibility_check(mini_db)
+
+    def test_duplicate_names_rejected(self, system2):
+        suite = mini_suite()
+        with pytest.raises(ValueError):
+            build_database([suite[0], suite[0]], system2, use_cache=False)
+
+    def test_deterministic_build(self, system2, mini_db):
+        db2 = build_database(mini_suite(), system2, seed=7, use_cache=False)
+        a = mini_db.record("mini_csps", 0)
+        b = db2.record("mini_csps", 0)
+        assert np.array_equal(a.time_grid, b.time_grid)
+        assert np.array_equal(a.lm_heur, b.lm_heur)
+
+
+class TestStore:
+    def test_fingerprint_sensitivity(self, system2):
+        suite = mini_suite()
+        base = database_fingerprint(suite, system2, 7)
+        assert base == database_fingerprint(mini_suite(), system2, 7)
+        assert base != database_fingerprint(suite, system2, 8)
+        assert base != database_fingerprint(suite[:3], system2, 7)
+
+    def test_roundtrip(self, mini_db, system2, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        monkeypatch.delenv("REPRO_NO_CACHE", raising=False)
+        path = save_database_cache(mini_db, mini_suite(), 7)
+        assert path is not None and path.exists()
+        loaded = load_cached_database(mini_suite(), system2, 7)
+        assert loaded is not None
+        a = mini_db.record("mini_cips", 0)
+        b = loaded.record("mini_cips", 0)
+        assert np.allclose(a.time_grid, b.time_grid)
+        assert np.allclose(a.mem_energy_curve, b.mem_energy_curve)
+        assert a.phase == b.phase
+        assert b.n_instructions == a.n_instructions
+
+    def test_miss_returns_none(self, system2, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        assert load_cached_database(mini_suite(), system2, 99) is None
+
+    def test_disable_env(self, mini_db, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        monkeypatch.setenv("REPRO_NO_CACHE", "1")
+        assert save_database_cache(mini_db, mini_suite(), 7) is None

@@ -1,0 +1,130 @@
+"""Experiment harness tests: every artefact runs and shows the paper shape.
+
+These use quick mode (small horizons, two workloads per scenario) on the
+full calibrated suite; the full-scale numbers live in EXPERIMENTS.md and the
+benchmark outputs.
+"""
+
+import pytest
+
+from repro.experiments.common import ExperimentConfig
+from repro.experiments.runner import EXPERIMENTS, run_experiment
+
+
+@pytest.fixture(scope="module")
+def quick_cfg(full_db):
+    # full_db fixture primes the on-disk cache the experiments reuse
+    return ExperimentConfig(quick=True)
+
+
+class TestStaticArtefacts:
+    def test_table1(self, quick_cfg):
+        res = run_experiment("table1", quick_cfg)
+        text = res.rendered()
+        assert "issue 8" in text and "ROB 256" in text
+        assert "2 MB x cores" in text
+
+    def test_table2_exact(self, quick_cfg):
+        res = run_experiment("table2", quick_cfg)
+        assert res.data["mismatches"] == []
+        assert len(res.rows) == 27
+
+    def test_fig1_probabilities(self, quick_cfg):
+        res = run_experiment("fig1", quick_cfg)
+        w = res.data["weights"]
+        assert w[1] == pytest.approx(0.47, abs=0.002)
+        assert w[4] == pytest.approx(0.088, abs=0.002)
+        assert len(res.rows) == 10
+
+    def test_overheads(self, quick_cfg):
+        res = run_experiment("overheads", quick_cfg)
+        data = res.data
+        # shape: monotone growth in core count for both managers
+        for kind in ("rm2", "rm3"):
+            instrs = [data[(kind, n)]["instructions"] for n in (2, 4, 8)]
+            assert instrs == sorted(instrs)
+        # RM3 costs more than RM2 at every core count
+        for n in (2, 4, 8):
+            assert (
+                data[("rm3", n)]["instructions"] > data[("rm2", n)]["instructions"]
+            )
+
+
+class TestDynamicArtefacts:
+    def test_fig2_shapes(self, quick_cfg):
+        res = run_experiment("fig2", quick_cfg)
+        s = res.data["savings"]
+        assert s[1]["rm3"] > s[1]["rm2"]            # S1: RM3 beats RM2
+        assert abs(s[2]["rm3"] - s[2]["rm2"]) < 0.05  # S2: comparable
+        assert s[3]["rm2"] < 0.01 < s[3]["rm3"]     # S3: only RM3
+        assert abs(s[4]["rm3"]) < 0.02              # S4: nothing
+        for scenario in (1, 2, 3, 4):
+            assert abs(s[scenario]["rm1"]) <= s[scenario]["rm3"] + 0.02
+
+    def test_fig7_reductions(self, quick_cfg):
+        res = run_experiment("fig7", quick_cfg)
+        red = res.data["reductions"]
+        assert red["probability_vs_model1"] > 0.4
+        assert red["probability_vs_model2"] > 0.25
+        assert red["ev_vs_model2"] > 0.3
+        assert red["std_vs_model2"] > 0.0
+
+    def test_fig8_tail(self, quick_cfg):
+        res = run_experiment("fig8", quick_cfg)
+        tails = res.data["tails"]
+        assert tails["Model3"] < 0.25 * tails["Model2"]
+        assert tails["Model2"] < tails["Model1"]
+
+    def test_fig6_quick(self, quick_cfg):
+        res = run_experiment("fig6", quick_cfg)
+        summary = res.data["summary"][4]
+        s1_rm3 = sum(summary["rm3"][1]) / len(summary["rm3"][1])
+        s1_rm2 = sum(summary["rm2"][1]) / len(summary["rm2"][1])
+        s3_rm3 = sum(summary["rm3"][3]) / len(summary["rm3"][3])
+        s3_rm2 = sum(summary["rm2"][3]) / len(summary["rm2"][3])
+        assert s1_rm3 > s1_rm2
+        assert s3_rm3 > s3_rm2 + 0.04
+        s4_rm3 = sum(summary["rm3"][4]) / len(summary["rm3"][4])
+        assert abs(s4_rm3) < 0.03
+
+    def test_fig9_quick(self, quick_cfg):
+        res = run_experiment("fig9", quick_cfg)
+        per_model = res.data["summary"][4]
+        mean = lambda m: sum(per_model[m]) / len(per_model[m])
+        # Model3 closest to perfect among online models
+        gap3 = abs(mean("Perfect") - mean("Model3"))
+        gap1 = abs(mean("Perfect") - mean("Model1"))
+        assert gap3 <= gap1 + 0.01
+
+
+class TestRunner:
+    def test_registry_complete(self):
+        assert set(EXPERIMENTS) == {
+            "table1", "table2", "fig1", "fig2", "fig6", "fig7", "fig8",
+            "fig9", "overheads", "ext-sensitivity", "ext-alpha",
+        }
+
+    def test_unknown_experiment(self):
+        with pytest.raises(ValueError):
+            run_experiment("fig99")
+
+
+class TestCLI:
+    def test_list(self, capsys):
+        from repro.cli import main
+
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig6" in out
+
+    def test_single_experiment(self, capsys):
+        from repro.cli import main
+
+        assert main(["table1"]) == 0
+        assert "issue 8" in capsys.readouterr().out
+
+    def test_parser_flags(self):
+        from repro.cli import build_parser
+
+        args = build_parser().parse_args(["fig6", "--quick", "--cores", "4"])
+        assert args.quick and args.cores == [4]

@@ -1,0 +1,59 @@
+"""Tests for the alpha-sweep extension and CSV export."""
+
+import csv
+import io
+
+import pytest
+
+from repro.experiments.common import ExperimentConfig, ExperimentResult
+from repro.experiments.runner import EXPERIMENTS, run_experiment
+
+
+class TestCsvExport:
+    def test_roundtrip(self, tmp_path):
+        res = ExperimentResult(
+            name="x",
+            headers=["a", "b"],
+            rows=[[1, "two"], [3.5, "four,with,commas"]],
+        )
+        parsed = list(csv.reader(io.StringIO(res.to_csv())))
+        assert parsed[0] == ["a", "b"]
+        assert parsed[2] == ["3.5", "four,with,commas"]
+        out = tmp_path / "res.csv"
+        res.write_csv(out)
+        assert out.read_text() == res.to_csv()
+
+    def test_real_experiment_csv(self):
+        res = run_experiment("table1", ExperimentConfig(quick=True))
+        parsed = list(csv.reader(io.StringIO(res.to_csv())))
+        assert parsed[0][0] == "component"
+        assert len(parsed) == len(res.rows) + 1
+
+
+@pytest.mark.slow
+class TestAlphaSweep:
+    @pytest.fixture(scope="class")
+    def result(self, full_db):
+        return run_experiment("ext-alpha", ExperimentConfig(quick=True))
+
+    def test_registered(self):
+        assert "ext-alpha" in EXPERIMENTS
+
+    def test_savings_grow_with_alpha(self, result):
+        """Relaxing QoS can only expand the feasible set; savings at the
+        loosest alpha must dominate the strictest for every scenario
+        (within run-to-run dynamics noise)."""
+        for scenario, per_alpha in result.data.items():
+            s_strict = per_alpha[1.0]["saving"]
+            s_loose = per_alpha[1.2]["saving"]
+            assert s_loose >= s_strict - 0.02, scenario
+
+    def test_scenario3_gains_most_from_relaxation(self, result):
+        """Memory-bound streaming apps convert slack directly into lower f."""
+        gain3 = result.data[3][1.2]["saving"] - result.data[3][1.0]["saving"]
+        assert gain3 >= -0.01
+
+    def test_worst_violation_recorded(self, result):
+        for per_alpha in result.data.values():
+            for stats in per_alpha.values():
+                assert stats["worst_violation"] >= 0.0

@@ -1,0 +1,44 @@
+"""Extension-experiment tests: hardware-budget sensitivity of the MLP-ATD."""
+
+import pytest
+
+from repro.experiments.ext_sensitivity import (
+    lm_error_for_window,
+    lm_undercount_for_counter_bits,
+    run,
+)
+from repro.experiments.common import ExperimentConfig
+
+
+class TestSensitivityPrimitives:
+    def test_error_nonnegative(self, cs_trace):
+        assert lm_error_for_window(cs_trace.stream, 1024) >= 0.0
+
+    def test_tight_window_hurts_chains(self, chain_trace):
+        """Chain-heavy code relies on distance splits: 1x ROB degrades."""
+        wide = lm_error_for_window(chain_trace.stream, 1024)
+        tight = lm_error_for_window(chain_trace.stream, 256)
+        assert tight > wide
+
+    def test_saturation_monotone_in_bits(self, streaming_trace):
+        scale = streaming_trace.sample_scale
+        unders = [
+            lm_undercount_for_counter_bits(streaming_trace.stream, b, scale)
+            for b in (27, 18, 12)
+        ]
+        assert unders[0] <= unders[1] <= unders[2]
+        assert unders[0] == 0.0  # the paper's budget never saturates
+
+    def test_zero_scale_no_saturation(self, cs_trace):
+        assert lm_undercount_for_counter_bits(cs_trace.stream, 12, 0.0) == 0.0
+
+
+@pytest.mark.slow
+class TestSensitivityExperiment:
+    def test_run_shape(self, full_db):
+        res = run(ExperimentConfig(quick=True))
+        assert len(res.rows) == 8  # 3 window rows + 5 counter rows
+        # paper budget row: zero saturation everywhere
+        assert all(v == 0.0 for v in res.data["counter"][27].values())
+        # the 4x window is a usable budget for every probe app
+        assert all(v < 0.25 for v in res.data["index"][4].values())

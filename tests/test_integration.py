@@ -1,0 +1,148 @@
+"""End-to-end integration tests on the full calibrated suite.
+
+These assert the paper's *shape claims* on the real database (cached on
+disk after the first build):
+
+* Table II categories match exactly,
+* scenario probabilities match Fig. 1,
+* RM orderings per scenario (Fig. 2),
+* Model3 dominates Model1/2 on the QoS study (Fig. 7),
+* the Fig. 8 tail contraction.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis.stats import qos_violation_study
+from repro.config import default_system
+from repro.core.managers import make_rm
+from repro.core.perf_models import PerfectModel
+from repro.database.builder import SimDatabase
+from repro.simulator.metrics import energy_savings
+from repro.simulator.rmsim import MulticoreRMSimulator
+from repro.workloads.categories import classify_suite
+from repro.workloads.scenarios import (
+    PAPER_SCENARIO_WEIGHTS,
+    category_counts_from,
+    scenario_weights,
+)
+from repro.workloads.suite import TABLE2_CATEGORIES, spec_suite
+
+
+@pytest.fixture(scope="module")
+def db2(full_db):
+    return SimDatabase(
+        system=default_system(2), apps=full_db.apps, records=full_db.records
+    )
+
+
+def run_pair(db2, kind, apps, model="Perfect"):
+    system = db2.system
+    if kind == "idle":
+        rm = make_rm("idle", system)
+    else:
+        rm = make_rm(kind, system, PerfectModel())
+    sim = MulticoreRMSimulator(db2, rm, charge_overheads=False)
+    return sim.run(list(apps), horizon_intervals=16)
+
+
+class TestSuiteCalibration:
+    def test_table2_exact(self, full_db):
+        cats = classify_suite(full_db)
+        assert cats == dict(TABLE2_CATEGORIES)
+
+    def test_scenario_weights(self, full_db):
+        counts = category_counts_from(classify_suite(full_db))
+        w = scenario_weights(counts)
+        for s, expected in PAPER_SCENARIO_WEIGHTS.items():
+            assert w[s] == pytest.approx(expected, abs=0.002)
+
+    def test_suite_size(self):
+        assert len(spec_suite()) == 27
+
+
+class TestScenarioShapes:
+    def test_scenario1_rm3_beats_rm2(self, db2):
+        idle = run_pair(db2, "idle", ["mcf", "omnetpp"])
+        rm2 = run_pair(db2, "rm2", ["mcf", "omnetpp"])
+        rm3 = run_pair(db2, "rm3", ["mcf", "omnetpp"])
+        s2 = energy_savings(rm2, idle)
+        s3 = energy_savings(rm3, idle)
+        assert s3 > s2 + 0.03
+        assert s3 > 0.05
+
+    def test_scenario2_rm2_rm3_comparable(self, db2):
+        idle = run_pair(db2, "idle", ["xalancbmk", "hmmer"])
+        s2 = energy_savings(run_pair(db2, "rm2", ["xalancbmk", "hmmer"]), idle)
+        s3 = energy_savings(run_pair(db2, "rm3", ["xalancbmk", "hmmer"]), idle)
+        assert s2 > 0.02
+        assert abs(s3 - s2) < 0.03
+
+    def test_scenario3_only_rm3(self, db2):
+        idle = run_pair(db2, "idle", ["libquantum", "bwaves"])
+        s1 = energy_savings(run_pair(db2, "rm1", ["libquantum", "bwaves"]), idle)
+        s2 = energy_savings(run_pair(db2, "rm2", ["libquantum", "bwaves"]), idle)
+        s3 = energy_savings(run_pair(db2, "rm3", ["libquantum", "bwaves"]), idle)
+        assert abs(s1) < 0.01
+        assert abs(s2) < 0.01
+        assert s3 > 0.05
+
+    def test_scenario4_nothing_works(self, db2):
+        idle = run_pair(db2, "idle", ["gamess", "sjeng"])
+        for kind in ("rm1", "rm2", "rm3"):
+            s = energy_savings(run_pair(db2, kind, ["gamess", "sjeng"]), idle)
+            assert abs(s) < 0.02
+
+    def test_perfect_model_never_violates(self, db2):
+        res = run_pair(db2, "rm3", ["mcf", "libquantum"])
+        assert all(v < 0.01 for v in res.violations)
+
+
+class TestFig7Shapes:
+    @pytest.fixture(scope="class")
+    def studies(self, full_db):
+        return {
+            m: qos_violation_study(full_db, m)
+            for m in ("Model1", "Model2", "Model3")
+        }
+
+    def test_probability_ordering(self, studies):
+        p1, p2, p3 = (
+            studies[m].probability for m in ("Model1", "Model2", "Model3")
+        )
+        assert p3 < p2 < p1
+        # at least the paper's reduction magnitudes
+        assert (p1 - p3) / p1 > 0.40
+        assert (p2 - p3) / p2 > 0.25
+
+    def test_ev_and_std_reduction(self, studies):
+        m2, m3 = studies["Model2"], studies["Model3"]
+        assert (m2.expected_value - m3.expected_value) / m2.expected_value > 0.3
+        assert m3.std < m2.std
+
+    def test_fig8_tail_contraction(self, studies):
+        """Model3's >10% violation mass shrinks dramatically (Fig. 8)."""
+        def tail(r):
+            edges = r.histogram.bin_edges
+            mask = edges[:-1] >= 0.10
+            return float(r.histogram.counts[mask].sum())
+
+        assert tail(studies["Model3"]) < 0.25 * tail(studies["Model2"])
+
+
+class TestEightCore:
+    def test_eight_core_run_and_budget(self, full_db):
+        db8 = SimDatabase(
+            system=default_system(8), apps=full_db.apps, records=full_db.records
+        )
+        rm = make_rm("rm3", db8.system, PerfectModel())
+        sim = MulticoreRMSimulator(db8, rm, charge_overheads=True, collect_history=True)
+        apps = ["mcf", "omnetpp", "libquantum", "gamess",
+                "soplex", "bwaves", "hmmer", "sjeng"]
+        res = sim.run(apps, horizon_intervals=6)
+        assert res.t_end_s > 0
+        # budget conservation at every recorded reconfiguration
+        idle = MulticoreRMSimulator(
+            db8, make_rm("idle", db8.system), charge_overheads=False
+        ).run(apps, horizon_intervals=6)
+        assert energy_savings(res, idle) > 0.0

@@ -1,0 +1,71 @@
+"""Model-error decomposition tests: *why* each model mispredicts."""
+
+import pytest
+
+from repro.analysis.model_error import decompose_error
+from repro.config import CoreSize, Setting
+from repro.core.perf_models import Model1, Model2, Model3
+
+
+@pytest.fixture(scope="module")
+def base(system2):
+    return system2.baseline_setting()
+
+
+class TestDecomposition:
+    def test_components_sum_to_total(self, mini_db, system2, base):
+        rec = mini_db.record("mini_csps", 0)
+        for model in (Model1(), Model2(), Model3()):
+            for target in (
+                base,
+                Setting(CoreSize.L, 1.5, 12),
+                Setting(CoreSize.S, 2.5, 4),
+            ):
+                d = decompose_error(rec, system2, model, base, target)
+                assert d.compute_s + d.memory_s == pytest.approx(
+                    d.total_s, abs=1e-12
+                )
+
+    def test_model1_error_is_memory_dominated(self, mini_db, system2, base):
+        """Model1's no-MLP assumption shows up on the memory side."""
+        rec = mini_db.record("mini_cips", 0)  # high-MLP streaming app
+        d = decompose_error(
+            rec, system2, Model1(), base, Setting(CoreSize.M, 2.0, 8)
+        )
+        assert d.memory_s > 0  # over-predicted stalls
+        assert abs(d.memory_s) > 5 * abs(d.compute_s)
+
+    def test_model3_memory_error_small(self, mini_db, system2, base):
+        rec = mini_db.record("mini_cips", 0)
+        d1 = decompose_error(
+            rec, system2, Model1(), base, Setting(CoreSize.L, 2.0, 8)
+        )
+        d3 = decompose_error(
+            rec, system2, Model3(), base, Setting(CoreSize.L, 2.0, 8)
+        )
+        assert abs(d3.memory_s) < 0.3 * abs(d1.memory_s)
+
+    def test_compute_error_shared_across_models(self, mini_db, system2, base):
+        """All models share Eq. 1's compute skeleton exactly."""
+        rec = mini_db.record("mini_cspi", 0)
+        target = Setting(CoreSize.L, 1.25, 10)
+        comps = [
+            decompose_error(rec, system2, m, base, target).compute_s
+            for m in (Model1(), Model2(), Model3())
+        ]
+        assert comps[0] == pytest.approx(comps[1])
+        assert comps[1] == pytest.approx(comps[2])
+
+    def test_exactness_at_current_setting_perfect_split(self, mini_db, system2, base):
+        """At the current setting Model3's decomposition is near-exact."""
+        rec = mini_db.record("mini_csps", 0)
+        d = decompose_error(rec, system2, Model3(), base, base)
+        assert abs(d.relative) < 0.08
+
+    def test_relative_sign_convention(self, mini_db, system2, base):
+        rec = mini_db.record("mini_cips", 0)
+        d = decompose_error(
+            rec, system2, Model1(), base, Setting(CoreSize.M, 2.0, 8)
+        )
+        # Model1 over-predicts for high-MLP apps -> conservative, positive
+        assert d.relative > 0

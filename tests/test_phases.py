@@ -1,0 +1,105 @@
+"""Phase-analysis tests: features, k-means, SimPoint recovery."""
+
+import numpy as np
+import pytest
+
+from repro.phases.features import interval_feature_matrix, phase_signature
+from repro.phases.kmeans import kmeans
+from repro.phases.simpoint import SimPointAnalysis
+from repro.workloads.suite import app_by_name
+
+
+class TestFeatures:
+    def test_signature_deterministic(self, cs_phase):
+        assert np.array_equal(phase_signature(cs_phase), phase_signature(cs_phase))
+
+    def test_distinct_phases_distinct_signatures(self, cs_phase, streaming_phase):
+        a, b = phase_signature(cs_phase), phase_signature(streaming_phase)
+        assert np.linalg.norm(a - b) > 0.1
+
+    def test_matrix_shape_and_noise(self):
+        app = app_by_name("mcf")
+        rng = np.random.default_rng(0)
+        m = interval_feature_matrix(app, noise=0.02, rng=rng)
+        assert m.shape[0] == app.n_intervals
+        # intervals of the same phase differ (noise) but only slightly
+        seq = app.phase_sequence()
+        same = [i for i in range(len(seq)) if seq[i] == seq[0]]
+        assert not np.array_equal(m[same[0]], m[same[1]])
+        assert np.linalg.norm(m[same[0]] - m[same[1]]) < 0.3
+
+    def test_noise_validation(self):
+        with pytest.raises(ValueError):
+            interval_feature_matrix(app_by_name("mcf"), noise=-0.1)
+
+
+class TestKMeans:
+    def test_separated_clusters_recovered(self):
+        rng = np.random.default_rng(0)
+        a = rng.normal(0, 0.05, (40, 3))
+        b = rng.normal(3, 0.05, (40, 3)) + np.array([0, 1, 2])
+        x = np.vstack([a, b])
+        res = kmeans(x, 2, rng=np.random.default_rng(1))
+        labels_a = set(res.labels[:40].tolist())
+        labels_b = set(res.labels[40:].tolist())
+        assert len(labels_a) == 1 and len(labels_b) == 1 and labels_a != labels_b
+
+    def test_k_equals_n(self):
+        x = np.array([[0.0], [1.0], [2.0]])
+        res = kmeans(x, 3)
+        assert sorted(res.labels.tolist()) == [0, 1, 2]
+        assert res.inertia == pytest.approx(0.0)
+
+    def test_deterministic_given_rng(self):
+        x = np.random.default_rng(5).random((50, 4))
+        r1 = kmeans(x, 3, rng=np.random.default_rng(9))
+        r2 = kmeans(x, 3, rng=np.random.default_rng(9))
+        assert np.array_equal(r1.labels, r2.labels)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            kmeans(np.zeros((3, 2)), 4)
+        with pytest.raises(ValueError):
+            kmeans(np.zeros((0, 2)), 1)
+
+    def test_inertia_decreases_with_k(self):
+        x = np.random.default_rng(2).random((60, 3))
+        inertias = [kmeans(x, k, rng=np.random.default_rng(k)).inertia for k in (1, 2, 4, 8)]
+        assert all(a >= b - 1e-9 for a, b in zip(inertias, inertias[1:]))
+
+
+class TestSimPoint:
+    @pytest.mark.parametrize("name", ["mcf", "libquantum", "hmmer"])
+    def test_recovers_true_phase_count(self, name):
+        app = app_by_name(name)
+        trace = SimPointAnalysis(max_k=6).analyse_app(app, noise=0.01)
+        assert trace.n_phases == app.n_phases
+
+    def test_recovered_labels_align_with_truth(self):
+        app = app_by_name("mcf")
+        trace = SimPointAnalysis(max_k=6).analyse_app(app, noise=0.01)
+        truth = np.array(app.phase_sequence())
+        # map each recovered cluster to its majority true phase
+        mapping = {}
+        for k in range(trace.n_phases):
+            members = truth[trace.labels == k]
+            mapping[k] = np.bincount(members).argmax()
+        mapped = np.array([mapping[l] for l in trace.labels])
+        agreement = np.mean(mapped == truth)
+        assert agreement > 0.9
+
+    def test_weights_sum_to_one(self):
+        trace = SimPointAnalysis().analyse_app(app_by_name("gcc"))
+        assert trace.weights.sum() == pytest.approx(1.0)
+        assert len(trace.representatives) == trace.n_phases
+
+    def test_representatives_belong_to_their_cluster(self):
+        trace = SimPointAnalysis().analyse_app(app_by_name("soplex"))
+        for k, rep in enumerate(trace.representatives):
+            assert trace.labels[rep] == k
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SimPointAnalysis(max_k=0)
+        with pytest.raises(ValueError):
+            SimPointAnalysis(bic_threshold=1.5)

@@ -1,0 +1,210 @@
+"""Workload tests: classification rules, scenario math, mix generation."""
+
+import pytest
+
+from repro.workloads.categories import Category, CategoryThresholds, classify_app
+from repro.workloads.mixes import (
+    coverage,
+    generate_covering_workloads,
+    generate_workloads,
+)
+from repro.workloads.scenarios import (
+    PAPER_SCENARIO_WEIGHTS,
+    SCENARIO_CELLS,
+    category_counts_from,
+    category_probabilities,
+    cell_probability_table,
+    scenario_of_pair,
+    scenario_weights,
+)
+
+
+class TestCategoryEnum:
+    def test_quadrants(self):
+        assert Category.of(True, True) is Category.CS_PS
+        assert Category.of(True, False) is Category.CS_PI
+        assert Category.of(False, True) is Category.CI_PS
+        assert Category.of(False, False) is Category.CI_PI
+
+    def test_attributes(self):
+        assert Category.CS_PI.cache_sensitive
+        assert not Category.CS_PI.parallelism_sensitive
+        assert Category.CI_PS.parallelism_sensitive
+
+
+class TestClassification:
+    def test_mini_suite_archetypes(self, mini_db):
+        assert classify_app(mini_db, "mini_csps") is Category.CS_PS
+        assert classify_app(mini_db, "mini_cips") is Category.CI_PS
+        assert classify_app(mini_db, "mini_cspi") is Category.CS_PI
+        assert classify_app(mini_db, "mini_cipi") is Category.CI_PI
+
+    def test_mpki_floor_forces_ci(self, mini_db):
+        """Raising the MPKI floor above an app's MPKI makes it CI."""
+        th = CategoryThresholds(mpki_min=1e9)
+        cat = classify_app(mini_db, "mini_csps", th)
+        assert not cat.cache_sensitive
+
+    def test_mlp_floor_forces_pi(self, mini_db):
+        th = CategoryThresholds(mlp_min=1e9)
+        cat = classify_app(mini_db, "mini_cips", th)
+        assert not cat.parallelism_sensitive
+
+
+class TestScenarioMath:
+    def paper_counts(self):
+        return {
+            Category.CS_PS: 5,
+            Category.CS_PI: 7,
+            Category.CI_PS: 7,
+            Category.CI_PI: 8,
+        }
+
+    def test_category_probabilities(self):
+        p = category_probabilities(self.paper_counts())
+        assert p[Category.CS_PS] == pytest.approx(5 / 27)
+        assert sum(p.values()) == pytest.approx(1.0)
+
+    def test_fig1_cell_values_match_paper(self):
+        """The printed single-product cell values of Fig. 1."""
+        cells = cell_probability_table(self.paper_counts())
+        assert cells[frozenset({Category.CI_PI})] == pytest.approx(0.088, abs=0.001)
+        assert cells[frozenset({Category.CI_PI, Category.CI_PS})] == pytest.approx(
+            0.077, abs=0.001
+        )
+        assert cells[frozenset({Category.CI_PI, Category.CS_PS})] == pytest.approx(
+            0.055, abs=0.001
+        )
+        assert cells[frozenset({Category.CS_PS})] == pytest.approx(0.034, abs=0.001)
+        assert cells[frozenset({Category.CI_PS, Category.CS_PS})] == pytest.approx(
+            0.048, abs=0.001
+        )
+
+    def test_scenario_weights_match_paper(self):
+        """47 / 22.1 / 22.1 / 8.8 with the Table II counts."""
+        w = scenario_weights(self.paper_counts())
+        for s, expected in PAPER_SCENARIO_WEIGHTS.items():
+            assert w[s] == pytest.approx(expected, abs=0.002)
+        assert sum(w.values()) == pytest.approx(1.0)
+
+    def test_every_pair_covered_exactly_once(self):
+        cats = list(Category)
+        for i, a in enumerate(cats):
+            for b in cats[i:]:
+                hits = [
+                    s
+                    for s, cells in SCENARIO_CELLS.items()
+                    if frozenset({a, b}) in cells
+                ]
+                assert len(hits) == 1, (a, b, hits)
+
+    def test_scenario_of_pair(self):
+        assert scenario_of_pair(Category.CS_PS, Category.CI_PI) == 1
+        assert scenario_of_pair(Category.CI_PS, Category.CS_PI) == 1
+        assert scenario_of_pair(Category.CS_PI, Category.CS_PI) == 2
+        assert scenario_of_pair(Category.CI_PS, Category.CI_PI) == 3
+        assert scenario_of_pair(Category.CI_PI, Category.CI_PI) == 4
+
+    def test_counts_from_mapping(self):
+        counts = category_counts_from(
+            {"a": Category.CS_PS, "b": Category.CS_PS, "c": Category.CI_PI}
+        )
+        assert counts[Category.CS_PS] == 2
+        assert counts[Category.CS_PI] == 0
+
+
+class TestMixes:
+    def fake_categories(self):
+        return {
+            "a1": Category.CS_PS, "a2": Category.CS_PS,
+            "b1": Category.CS_PI, "b2": Category.CS_PI,
+            "c1": Category.CI_PS, "c2": Category.CI_PS,
+            "d1": Category.CI_PI, "d2": Category.CI_PI,
+        }
+
+    def test_scenario1_second_half_constraint(self):
+        cats = self.fake_categories()
+        for mix in generate_workloads(cats, 1, 4, 20, seed=1):
+            second = [cats[a] for a in mix.apps[2:]]
+            first = [cats[a] for a in mix.apps[:2]]
+            if all(c is Category.CS_PI for c in second):
+                assert all(c is Category.CI_PS for c in first)
+            else:
+                assert all(c is Category.CS_PS for c in second)
+
+    def test_scenario4_all_cipi(self):
+        cats = self.fake_categories()
+        for mix in generate_workloads(cats, 4, 4, 10, seed=1):
+            assert all(cats[a] is Category.CI_PI for a in mix.apps)
+
+    def test_scenario3_structure(self):
+        cats = self.fake_categories()
+        for mix in generate_workloads(cats, 3, 8, 10, seed=2):
+            first = {cats[a] for a in mix.apps[:4]}
+            second = {cats[a] for a in mix.apps[4:]}
+            assert first <= {Category.CI_PI, Category.CI_PS}
+            assert second == {Category.CI_PS}
+
+    def test_deterministic_per_seed(self):
+        cats = self.fake_categories()
+        a = generate_workloads(cats, 1, 4, 5, seed=42)
+        b = generate_workloads(cats, 1, 4, 5, seed=42)
+        assert [m.apps for m in a] == [m.apps for m in b]
+        c = generate_workloads(cats, 1, 4, 5, seed=43)
+        assert [m.apps for m in a] != [m.apps for m in c]
+
+    def test_labels(self):
+        cats = self.fake_categories()
+        mixes = generate_workloads(cats, 2, 4, 3, seed=0)
+        assert mixes[0].label == "4Core-S2-W1"
+        assert mixes[2].label == "4Core-S2-W3"
+
+    def test_coverage_counts(self):
+        cats = self.fake_categories()
+        mixes = generate_workloads(cats, 4, 4, 30, seed=0)
+        cov = coverage(mixes)
+        assert set(cov) <= {"d1", "d2"}
+        assert sum(cov.values()) == 30 * 4
+
+    def test_validation(self):
+        cats = self.fake_categories()
+        with pytest.raises(ValueError):
+            generate_workloads(cats, 5, 4, 1)
+        with pytest.raises(ValueError):
+            generate_workloads(cats, 1, 3, 1)  # odd core count
+        with pytest.raises(ValueError):
+            generate_workloads(cats, 1, 4, 0)
+
+    def test_missing_category_rejected(self):
+        with pytest.raises(ValueError):
+            generate_workloads({"x": Category.CI_PI}, 1, 2, 1)
+
+    def test_covering_generation_covers_all(self):
+        cats = self.fake_categories()
+        per_scenario = generate_covering_workloads(cats, 4, 6, seed=5)
+        seen = set()
+        for mixes in per_scenario.values():
+            seen.update(coverage(mixes))
+        assert seen == set(cats)
+        assert set(per_scenario) == {1, 2, 3, 4}
+
+    def test_covering_generation_paper_suite(self):
+        """The real 27-app suite is coverable at the paper's workload count."""
+        from repro.workloads.suite import TABLE2_CATEGORIES
+
+        per_scenario = generate_covering_workloads(
+            dict(TABLE2_CATEGORIES), 8, 6, seed=2020
+        )
+        seen = set()
+        for mixes in per_scenario.values():
+            seen.update(coverage(mixes))
+        assert seen == set(TABLE2_CATEGORIES)
+
+    def test_covering_generation_gives_up(self):
+        # a category map whose CS-PS member can never be drawn in S2-S4 and
+        # appears only probabilistically in S1 it cannot fail... use a map
+        # with an app in no scenario template's reachable set: impossible by
+        # construction, so instead verify the attempt bound triggers with
+        # zero attempts allowed.
+        with pytest.raises(ValueError):
+            generate_covering_workloads(self.fake_categories(), 4, 1, max_attempts=0)

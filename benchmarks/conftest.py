@@ -8,6 +8,8 @@ pytest-benchmark table doubles as a results summary.
 
 from __future__ import annotations
 
+import os
+
 import pytest
 
 from repro.experiments.common import ExperimentConfig, get_database
@@ -25,5 +27,11 @@ def full_cfg() -> ExperimentConfig:
 
 @pytest.fixture(scope="session", autouse=True)
 def primed_database():
-    """Build (or load) the shared database once, outside any timing loop."""
+    """Build (or load) the shared database once, outside any timing loop.
+
+    ``REPRO_BENCH_NO_PRIME=1`` skips the build for quick substrate-only
+    smoke runs (e.g. CI) that never touch the shared database.
+    """
+    if os.environ.get("REPRO_BENCH_NO_PRIME"):
+        return None
     return get_database(4, 2020)

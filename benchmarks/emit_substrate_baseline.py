@@ -1,0 +1,92 @@
+"""Regenerate ``BENCH_substrate.json``, the substrate perf baseline.
+
+Runs the substrate benchmark file under pytest-benchmark, distils the
+result into a small stable JSON (mean seconds + derived throughput per
+benchmark, plus environment facts that matter for interpreting them), and
+writes it to the repo root.  Future PRs re-run this to extend the perf
+trajectory.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/emit_substrate_baseline.py
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+OUT_PATH = REPO_ROOT / "BENCH_substrate.json"
+
+
+def main() -> int:
+    with tempfile.TemporaryDirectory() as tmp:
+        raw_path = Path(tmp) / "bench.json"
+        proc = subprocess.run(
+            [
+                sys.executable,
+                "-m",
+                "pytest",
+                str(REPO_ROOT / "benchmarks" / "test_bench_substrate.py"),
+                "-q",
+                "--benchmark-json",
+                str(raw_path),
+            ],
+            env={
+                **__import__("os").environ,
+                "REPRO_BENCH_NO_PRIME": "1",
+            },
+            cwd=REPO_ROOT,
+        )
+        if proc.returncode != 0:
+            return proc.returncode
+        raw = json.loads(raw_path.read_text())
+
+    from repro.cache import _native  # after pytest run; PYTHONPATH=src
+
+    benches = {}
+    for entry in raw["benchmarks"]:
+        record = {
+            "mean_s": entry["stats"]["mean"],
+            "stddev_s": entry["stats"]["stddev"],
+            "rounds": entry["stats"]["rounds"],
+        }
+        record.update(entry.get("extra_info", {}))
+        benches[entry["name"]] = record
+
+    oracle = benches.get("test_bench_replay_oracle", {}).get("mean_s")
+    summary = {}
+    for engine in ("vector", "native"):
+        mean = benches.get(f"test_bench_replay_{engine}", {}).get("mean_s")
+        if oracle and mean:
+            summary[f"replay_{engine}_speedup_vs_oracle"] = round(
+                oracle / mean, 2
+            )
+
+    OUT_PATH.write_text(
+        json.dumps(
+            {
+                "description": "Substrate benchmark baseline "
+                "(benchmarks/test_bench_substrate.py)",
+                "python": platform.python_version(),
+                "machine": platform.machine(),
+                "native_kernel_available": _native.available(),
+                "replay_summary": summary,
+                "benchmarks": benches,
+            },
+            indent=2,
+            sort_keys=True,
+        )
+        + "\n"
+    )
+    print(f"wrote {OUT_PATH}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

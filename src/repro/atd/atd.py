@@ -76,6 +76,7 @@ class AuxiliaryTagDirectory:
         max_ways: int = 16,
         set_sample: int = 1,
         mlp_set_sample: int = 1,
+        engine: str | None = None,
     ):
         if set_sample < 1 or mlp_set_sample < 1:
             raise ValueError("sampling factors must be >= 1")
@@ -83,41 +84,56 @@ class AuxiliaryTagDirectory:
         self.max_ways = max_ways
         self.set_sample = set_sample
         self.mlp_set_sample = mlp_set_sample
-        self._tags = SetAssociativeLRU(n_sets, depth=max_ways, prewarm=True)
+        self._tags = SetAssociativeLRU(
+            n_sets, depth=max_ways, prewarm=True, engine=engine
+        )
 
     def process(self, stream: AccessStream, scale: float = 1.0) -> ATDReport:
         """Replay one interval's stream and produce the RM-facing report.
 
+        The tag array replays the stream in arrival order (exactly as the
+        hardware would observe requests) in one batched pass; both monitors
+        then consume the precomputed recency array instead of re-touching
+        the stacks access by access.  Identical replays across ATD
+        instances (e.g. the main-TD and per-core passes of one database
+        build) are shared through the replay memo.
+
         Parameters
         ----------
         stream:
-            Program-ordered access stream; the ATD walks it in arrival
-            order, exactly as the hardware would observe requests.
+            Program-ordered access stream.
         scale:
             Sample-to-nominal conversion applied to all counters.
         """
         monitor = RecencyMonitor(self.max_ways, scale=scale * self.set_sample)
         counters = MLPCounterArray(max_ways=self.max_ways)
 
+        # One batched arrival-order replay; recencies indexed by stream
+        # position.  The directory state advances exactly as it would have
+        # under per-access updates.
+        recency = self._tags.replay(stream, "arrival")
+
         sets = stream.set_index
-        tags = stream.tag
-        inst = stream.inst_index
-        sample = self.set_sample
-        mlp_sample = self.mlp_set_sample
+        if self.set_sample == 1:
+            monitor.record_many(recency)
+        else:
+            monitor.record_many(recency[sets % self.set_sample == 0])
 
-        for k in stream.in_arrival_order():
-            s = int(sets[k])
-            recency = self._tags.access(s, int(tags[k]))
-            if s % sample == 0:
-                monitor.record(recency)
-            if s % mlp_sample == 0:
-                # predicted to miss at allocations 1..(recency-1); a fresh
-                # access misses everywhere.
-                miss_ways = self.max_ways if recency == FRESH else recency - 1
-                if miss_ways > 0:
-                    counters.observe(int(inst[k]), miss_ways)
+        # The MLP counters are order-sensitive: feed them the arrival-order
+        # view of the same recency array.
+        arrival = stream.in_arrival_order()
+        rec_seq = recency[arrival].astype(np.int64)
+        # predicted to miss at allocations 1..(recency-1); a fresh access
+        # misses everywhere.
+        miss_ways = np.where(rec_seq == FRESH, self.max_ways, rec_seq - 1)
+        observed = miss_ways > 0
+        if self.mlp_set_sample > 1:
+            observed &= sets[arrival] % self.mlp_set_sample == 0
+        counters.observe_many(
+            stream.inst_index[arrival][observed], miss_ways[observed]
+        )
 
-        mlp_scale = scale * mlp_sample
+        mlp_scale = scale * self.mlp_set_sample
         return ATDReport(
             miss_curve=monitor.miss_curve(),
             mlp=counters.snapshot(mlp_scale),

@@ -164,6 +164,66 @@ class MLPCounterArray:
                     ovd_row[w] = dist
         return
 
+    def observe_many(
+        self,
+        inst_indices: np.ndarray,
+        predicted_miss_ways: np.ndarray,
+    ) -> None:
+        """Process a batch of predicted misses, in the given order.
+
+        Exactly equivalent to calling :meth:`observe` once per element —
+        the counters are sequential per (c, w) lane, but lanes are mutually
+        independent, so the batch is processed lane-by-lane over NumPy-
+        extracted subsequences instead of access-by-access over all lanes.
+        The prefix property keeps each lane's subsequence a simple filter:
+        allocation ``w`` sees exactly the accesses with ``miss_ways > w``.
+        """
+        idx = np.asarray(inst_indices, dtype=np.int64) % self.index_window
+        k = np.minimum(
+            np.asarray(predicted_miss_ways, dtype=np.int64), self.max_ways
+        )
+        valid = k > 0
+        if not valid.all():
+            idx, k = idx[valid], k[valid]
+        if idx.size == 0:
+            return
+        # Predicted-miss totals: an access with cap k updates w = 0..k-1.
+        tail = np.cumsum(
+            np.bincount(k, minlength=self.max_ways + 1)[::-1]
+        )[::-1]
+        for w in range(self.max_ways):
+            self._miss[w] += int(tail[w + 1])
+
+        window = self.index_window
+        counter_max = self.counter_max
+        for w in range(self.max_ways):
+            sub = idx[k > w]
+            if sub.size == 0:
+                break  # lanes are nested: larger w see subsets of this one
+            sub_list = sub.tolist()
+            for c, rob in enumerate(self.rob_sizes):
+                lm = self._lm[c][w]
+                last = self._last_lm_idx[c][w]
+                ov = self._last_ov_dist[c][w]
+                for x in sub_list:
+                    if last < 0:
+                        lm += 1
+                        last = x
+                        ov = -1
+                        continue
+                    d = x - last
+                    if d < 0:  # modular forward distance, both in-window
+                        d += window
+                    if d >= rob or (0 <= ov and d < ov):
+                        lm += 1
+                        last = x
+                        ov = -1
+                    else:
+                        ov = d
+                self._lm[c][w] = lm if lm <= counter_max else counter_max
+                self._last_lm_idx[c][w] = last
+                self._last_ov_dist[c][w] = ov
+
     # ------------------------------------------------------------------
     def snapshot(self, scale: float = 1.0) -> MLPEstimate:
         """Scaled counter values for the interval just monitored."""

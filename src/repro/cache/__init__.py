@@ -1,7 +1,14 @@
-"""Cache substrate: LRU stacks, way-partitioned set-associative LLC model,
-partition bitmask bookkeeping and the private-hierarchy stall model."""
+"""Cache substrate: LRU stacks, the batched stack-distance replay engine,
+way-partitioned set-associative LLC model, partition bitmask bookkeeping
+and the private-hierarchy stall model."""
 
 from repro.cache.lru import LRUStack
+from repro.cache.replay import (
+    clear_replay_memo,
+    replay_access_stream,
+    resolve_engine,
+    vector_replay,
+)
 from repro.cache.setassoc import SetAssociativeLRU, prewarm_tags
 from repro.cache.partition import WayPartition, allocation_to_masks
 from repro.cache.hierarchy import PrivateHierarchyModel
@@ -10,6 +17,10 @@ __all__ = [
     "LRUStack",
     "SetAssociativeLRU",
     "prewarm_tags",
+    "vector_replay",
+    "replay_access_stream",
+    "resolve_engine",
+    "clear_replay_memo",
     "WayPartition",
     "allocation_to_masks",
     "PrivateHierarchyModel",

@@ -1,10 +1,21 @@
-"""A single LRU recency stack.
+"""A single LRU recency stack — the replay *reference implementation*.
 
 This is the basic building block of both the main tag directory and the
 Auxiliary Tag Directory: a bounded most-recently-used-first list of line
 tags whose *lookup position* is the recency (stack distance) used everywhere
 in the paper — an access at recency ``r`` hits in any allocation of at least
 ``r`` ways.
+
+Since the batched engines of :mod:`repro.cache.replay` took over the hot
+path, this class is the oracle the engines are differentially tested
+against: clarity beats speed here.  Every operation is a linear scan or
+shift over a Python list of at most ``depth`` entries — ``access`` pays a
+``list.index`` plus an ``insert(0, ...)`` (each O(depth)), and
+``__contains__``/``peek_recency`` pay one scan.  Fine at depth 16 for
+single probes; replaying whole streams through it is O(n * depth) Python
+work, which is exactly what the vectorized engines exist to avoid.  Misses
+are reported as :data:`~repro.trace.stream.FRESH` (the integer 0, never a
+valid 1-based recency).
 """
 
 from __future__ import annotations
@@ -47,6 +58,7 @@ class LRUStack:
         return len(self._stack)
 
     def __contains__(self, tag: int) -> bool:
+        """Residency test (linear scan, O(depth))."""
         return tag in self._stack
 
     def contents(self) -> List[int]:
@@ -57,7 +69,12 @@ class LRUStack:
         """Touch ``tag``; return its recency (1-based) or ``FRESH`` on miss.
 
         On a hit the tag moves to the MRU position; on a miss it is inserted
-        at MRU and the LRU entry is evicted if the stack is full.
+        at MRU and the LRU entry is evicted if the stack is full.  ``FRESH``
+        (0) is returned for *both* compulsory misses and re-accesses to
+        previously evicted tags — the two are indistinguishable to the
+        hardware and must stay indistinguishable in any replacement engine.
+        Cost: one ``list.index`` scan plus one ``insert(0, ...)`` shift,
+        both O(depth) — see the module docstring.
         """
         stack = self._stack
         try:
@@ -72,7 +89,8 @@ class LRUStack:
         return pos + 1
 
     def peek_recency(self, tag: int) -> int:
-        """Recency of ``tag`` without touching the stack (FRESH if absent)."""
+        """Recency of ``tag`` without touching the stack (``FRESH`` if
+        absent; linear scan, O(depth))."""
         try:
             return self._stack.index(tag) + 1
         except ValueError:

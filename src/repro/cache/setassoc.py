@@ -1,8 +1,8 @@
 """Set-associative LRU tag model over access streams.
 
 :class:`SetAssociativeLRU` replays an :class:`~repro.trace.stream.AccessStream`
-through per-set :class:`~repro.cache.lru.LRUStack` instances and reports the
-recency of every access.  It serves two roles:
+through per-set LRU recency state and reports the recency of every access.
+It serves two roles:
 
 * as the **main tag directory** of the way-partitioned LLC (an LRU cache
   restricted to ``w`` ways per set hits exactly the accesses whose recency
@@ -10,31 +10,38 @@ recency of every access.  It serves two roles:
 * as the tag-array core of the **ATD** (``repro.atd``), which replays the
   same stream in arrival order.
 
-:func:`prewarm_tags` reproduces the deterministic warm-up contents the trace
-generator installs, standing in for the paper's 100M-instruction cache
-warm-up windows.
+Replays run on one of the interchangeable engines of
+:mod:`repro.cache.replay` (default ``auto``: the compiled kernel when a C
+compiler is available, NumPy otherwise); ``engine="oracle"`` keeps the
+original per-access :class:`~repro.cache.lru.LRUStack` loop as the
+reference path.  All engines are bit-for-bit equivalent, including the
+directory state left behind after a replay, so engines can be switched
+mid-stream and results compared exactly.
+
+:func:`prewarm_tags` reproduces the deterministic warm-up contents the
+trace generator installs, standing in for the paper's 100M-instruction
+cache warm-up windows.
 """
 
 from __future__ import annotations
 
-from typing import List, Sequence
+from typing import List, Optional, Sequence, Union
 
 import numpy as np
 
 from repro.cache.lru import LRUStack
+from repro.cache.replay import (
+    prewarm_tags,
+    replay_access_stream,
+    replay_pristine,
+    resolve_engine,
+)
 from repro.trace.stream import AccessStream
 
 __all__ = ["SetAssociativeLRU", "prewarm_tags"]
 
-
-def prewarm_tags(set_index: int, depth: int) -> List[int]:
-    """Deterministic warm-up tags for one set (MRU first).
-
-    Matches :class:`repro.trace.generator.PhaseTraceGenerator`, which warms
-    each set with ``depth`` unique placeholder lines from the negative tag
-    space so deep recencies are realisable from the first access.
-    """
-    return [-(set_index * depth + d + 1) for d in range(depth)]
+#: Replay orders that the memoized fast path understands.
+_ORDER_KEYS = ("program", "arrival")
 
 
 class SetAssociativeLRU:
@@ -49,26 +56,46 @@ class SetAssociativeLRU:
     prewarm:
         Install the generator's warm-up contents (default True).  Without
         warm-up, early deep-recency accesses degrade to compulsory misses.
+    engine:
+        Replay engine: ``"auto"`` (default, also via the
+        ``REPRO_REPLAY_ENGINE`` environment variable), ``"native"``,
+        ``"vector"``, or ``"oracle"`` for the reference per-access
+        :class:`LRUStack` loop.
     """
 
-    def __init__(self, n_sets: int, depth: int = 16, prewarm: bool = True):
+    def __init__(
+        self,
+        n_sets: int,
+        depth: int = 16,
+        prewarm: bool = True,
+        engine: Optional[str] = None,
+    ):
         if n_sets < 1:
             raise ValueError("n_sets must be >= 1")
         self.n_sets = n_sets
         self.depth = depth
+        self.prewarm = prewarm
+        self.engine = resolve_engine(engine)
         if prewarm:
             self._sets = [
                 LRUStack(depth, prewarm_tags(s, depth)) for s in range(n_sets)
             ]
         else:
             self._sets = [LRUStack(depth) for _ in range(n_sets)]
+        #: True until the first access/replay: a pristine directory holds
+        #: exactly its deterministic warm-up state, so replays of it can be
+        #: shared through the replay memo.
+        self._pristine = True
 
     def access(self, set_index: int, tag: int) -> int:
         """Touch one line; return its recency (FRESH on miss)."""
+        self._pristine = False
         return self._sets[set_index].access(tag)
 
     def replay(
-        self, stream: AccessStream, order: Sequence[int] | None = None
+        self,
+        stream: AccessStream,
+        order: Union[None, str, Sequence[int]] = None,
     ) -> np.ndarray:
         """Replay a stream; return the recency of each access.
 
@@ -77,14 +104,69 @@ class SetAssociativeLRU:
         stream:
             The access stream to replay.
         order:
-            Optional replay order (stream positions).  Defaults to program
-            order; pass ``stream.in_arrival_order()`` for the ATD view.
+            Replay order: ``None`` or ``"program"`` for program order,
+            ``"arrival"`` for the ATD's arrival-order view, or an explicit
+            sequence of stream positions.  The named orders enable the
+            replay memo; explicit sequences always recompute.
 
         Returns
         -------
         ``int16[n]`` recencies indexed by *stream position* (not replay
         order), so results are directly comparable across replay orders.
+        Memoized results are read-only; copy before mutating.
         """
+        order_key: Optional[str]
+        if order is None:
+            order_key, order_arr = "program", None
+        elif isinstance(order, str):
+            if order not in _ORDER_KEYS:
+                raise ValueError(f"unknown replay order {order!r}")
+            order_key = order
+            # resolved lazily below: the memoized pristine path never
+            # needs the explicit permutation
+            order_arr = None
+        else:
+            order_key, order_arr = None, order
+
+        def resolve_order():
+            if order_key == "arrival" and order_arr is None:
+                return stream.in_arrival_order()
+            return order_arr
+
+        if self.engine == "oracle":
+            return self._replay_oracle(stream, resolve_order())
+
+        if self._pristine and order_key is not None:
+            recency, state = replay_pristine(
+                stream,
+                n_sets=self.n_sets,
+                depth=self.depth,
+                prewarm=self.prewarm,
+                order_key=order_key,
+                engine=self.engine,
+            )
+        else:
+            recency, state = replay_access_stream(
+                stream.set_index,
+                stream.tag,
+                n_sets=self.n_sets,
+                depth=self.depth,
+                order=resolve_order(),
+                initial=self.contents(),
+                want_state=True,
+                engine=self.engine,
+            )
+        # Mirror the final stack state so access()/contents()/further
+        # replays continue exactly where this stream left off.
+        self._sets = [LRUStack(self.depth, c) for c in state]
+        self._pristine = False
+        return recency
+
+    def _replay_oracle(
+        self, stream: AccessStream, order: Optional[Sequence[int]]
+    ) -> np.ndarray:
+        """Reference path: one :meth:`LRUStack.access` per access."""
+        self._pristine = False
         n = stream.n_accesses
         recency = np.empty(n, dtype=np.int16)
         sets = self._sets

@@ -12,12 +12,22 @@ For every (application, phase) the builder
 yielding one :class:`~repro.database.records.PhaseRecord`.  Results are
 deterministic in (suite, system, seed) and can be cached on disk
 (:mod:`repro.database.store`).
+
+Phase records are mutually independent and each carries its own derived
+seed, so :func:`build_database` can fan the per-phase work out over a
+``concurrent.futures`` process pool: the database is bit-identical for any
+worker count, including serial.  Worker count resolves from the explicit
+``n_workers`` argument, then the ``REPRO_BUILD_WORKERS`` environment
+variable, then an automatic rule that only engages the pool for builds big
+enough to amortise process startup (paper-scale suites, not test minis).
 """
 
 from __future__ import annotations
 
+import os
+from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
-from typing import Dict, List, Mapping, Sequence
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -32,7 +42,19 @@ from repro.trace.generator import PhaseTraceGenerator
 from repro.trace.spec import AppSpec, PhaseSpec
 from repro.util.rng import derive_seed
 
-__all__ = ["SimDatabase", "build_database", "build_phase_record"]
+__all__ = [
+    "SimDatabase",
+    "build_database",
+    "build_phase_record",
+    "resolve_build_workers",
+]
+
+#: Environment override for the database build worker count.
+WORKERS_ENV = "REPRO_BUILD_WORKERS"
+
+#: Auto mode engages the pool only above this much total replay work
+#: (tasks x sampled accesses); smaller builds run serial, faster.
+_AUTO_POOL_MIN_WORK = 8 * 8192
 
 
 @dataclass
@@ -174,17 +196,58 @@ def build_phase_record(
     return record
 
 
+def resolve_build_workers(
+    n_workers: Optional[int], n_tasks: int, system: SystemConfig
+) -> int:
+    """Worker count for a build of ``n_tasks`` phase records.
+
+    Priority: explicit argument, then :data:`WORKERS_ENV`, then an
+    automatic rule — parallelise only when the total replay work is large
+    enough for the pool startup to pay for itself.
+    """
+    if n_workers is None:
+        env = os.environ.get(WORKERS_ENV)
+        if env:
+            try:
+                n_workers = int(env)
+            except ValueError:
+                raise ValueError(
+                    f"{WORKERS_ENV} must be an integer, got {env!r}"
+                ) from None
+    if n_workers is None:
+        work = n_tasks * system.scale.sample_llc_accesses
+        if n_tasks >= 4 and work >= _AUTO_POOL_MIN_WORK:
+            n_workers = min(os.cpu_count() or 1, n_tasks, 8)
+        else:
+            n_workers = 1
+    return max(1, min(int(n_workers), max(1, n_tasks)))
+
+
+def _build_phase_task(
+    args: Tuple[PhaseSpec, str, SystemConfig, int, PhaseTraceGenerator],
+) -> PhaseRecord:
+    """Pool-friendly wrapper: one fully described, independent record."""
+    phase, app_name, system, phase_seed, gen = args
+    return build_phase_record(phase, app_name, system, phase_seed, gen)
+
+
 def build_database(
     suite: Sequence[AppSpec],
     system: SystemConfig,
     seed: int = 2020,
     generator: PhaseTraceGenerator | None = None,
     use_cache: bool = True,
+    n_workers: Optional[int] = None,
 ) -> SimDatabase:
     """Build (or load from cache) the database for a suite.
 
     The cache key covers the suite specs, the system configuration and the
     seed, so stale results can never be returned for changed inputs.
+
+    Each (application, phase) record derives its seed from the path
+    ``(seed, "trace", app, phase_index)`` alone, so the build is
+    deterministic — and bit-identical — for every ``n_workers`` value (see
+    :func:`resolve_build_workers` for how the count is chosen).
     """
     from repro.database.store import load_cached_database, save_database_cache
 
@@ -198,15 +261,24 @@ def build_database(
             return cached
 
     gen = generator or PhaseTraceGenerator(system.scale)
+    tasks = [
+        (phase, spec.name, system, derive_seed(seed, "trace", spec.name, idx), gen)
+        for spec in suite
+        for idx, phase in enumerate(spec.phases)
+    ]
+    workers = resolve_build_workers(n_workers, len(tasks), system)
+    if workers > 1:
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            built = list(pool.map(_build_phase_task, tasks, chunksize=1))
+    else:
+        built = [_build_phase_task(t) for t in tasks]
+
     db = SimDatabase(system=system, apps=apps)
+    cursor = 0
     for spec in suite:
-        records = []
-        for idx, phase in enumerate(spec.phases):
-            phase_seed = derive_seed(seed, "trace", spec.name, idx)
-            records.append(
-                build_phase_record(phase, spec.name, system, phase_seed, gen)
-            )
-        db.records[spec.name] = records
+        n_phases = len(spec.phases)
+        db.records[spec.name] = built[cursor : cursor + n_phases]
+        cursor += n_phases
 
     if use_cache:
         save_database_cache(db, suite, seed)

@@ -15,6 +15,7 @@ program order, together with the metadata the various consumers need:
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import cached_property
 
 import numpy as np
 
@@ -108,6 +109,19 @@ class AccessStream:
         hits = np.cumsum(hist[1 : max_ways + 1])
         return (n - hits).astype(np.int64)
 
+    @cached_property
+    def _arrival_positions(self) -> np.ndarray:
+        # cached_property writes the instance __dict__ directly, so it is
+        # compatible with the frozen dataclass; the array is shared between
+        # callers (replay engines, ATD monitor feeds) and hence read-only.
+        order = np.argsort(self.arrival_order, kind="stable")
+        order.flags.writeable = False
+        return order
+
     def in_arrival_order(self) -> np.ndarray:
-        """Stream positions sorted by arrival order (what the ATD sees)."""
-        return np.argsort(self.arrival_order, kind="stable")
+        """Stream positions sorted by arrival order (what the ATD sees).
+
+        Computed once per stream and shared; the returned array is
+        read-only — copy before mutating.
+        """
+        return self._arrival_positions

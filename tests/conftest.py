@@ -10,37 +10,12 @@ from __future__ import annotations
 
 import pytest
 
-from repro.config import ScaleConfig, SystemConfig, default_system
+from repro.config import SystemConfig, default_system
 from repro.database.builder import SimDatabase, build_database
+from repro.testing import make_phase, mini_suite, small_scale
 from repro.trace.generator import PhaseTraceGenerator
 from repro.trace.reuse import cliff_profile, small_ws_profile, streaming_profile
-from repro.trace.spec import AppSpec, PhaseSpec, uniform_ipc
-
-
-def small_scale() -> ScaleConfig:
-    return ScaleConfig(sample_llc_accesses=2048, app_intervals=8)
-
-
-def make_phase(
-    name: str = "p0",
-    reuse=None,
-    apki: float = 20.0,
-    chain: float = 0.05,
-    burst: float = 10.0,
-    intra: float = 0.3,
-    ipc=None,
-    **kw,
-) -> PhaseSpec:
-    return PhaseSpec(
-        name=name,
-        reuse=reuse or cliff_profile(9.0, 2.5, 0.1),
-        llc_apki=apki,
-        chain_frac=chain,
-        burst_len=burst,
-        intra_gap_frac=intra,
-        ipc=ipc or uniform_ipc(1.2, 1.7, 2.2),
-        **kw,
-    )
+from repro.trace.spec import uniform_ipc
 
 
 @pytest.fixture(scope="session")
@@ -93,55 +68,6 @@ def streaming_trace(generator, streaming_phase):
 @pytest.fixture(scope="session")
 def chain_trace(generator, chain_phase):
     return generator.generate(chain_phase, seed=44)
-
-
-def mini_suite() -> list[AppSpec]:
-    """Four small applications, one per category archetype."""
-    cs_ps = AppSpec(
-        name="mini_csps",
-        phases=(
-            make_phase("a", cliff_profile(9.0, 2.5, 0.1), apki=25.0),
-            make_phase("b", cliff_profile(8.0, 2.5, 0.12), apki=18.0),
-        ),
-        phase_pattern=(0, 0, 0, 1, 1, 0),
-        n_intervals=8,
-    )
-    ci_ps = AppSpec(
-        name="mini_cips",
-        phases=(
-            make_phase(
-                "a", streaming_profile(0.93), apki=26.0, burst=12.0,
-                intra=0.35, ipc=uniform_ipc(1.0, 1.45, 2.1),
-            ),
-        ),
-        phase_pattern=(0,),
-        n_intervals=6,
-    )
-    cs_pi = AppSpec(
-        name="mini_cspi",
-        phases=(
-            make_phase(
-                "a", cliff_profile(7.0, 2.0, 0.08), apki=12.0, chain=0.65,
-                burst=3.0, intra=0.5, ipc=uniform_ipc(1.4, 1.9, 2.25),
-                branch_mpki=5.0,
-            ),
-        ),
-        phase_pattern=(0,),
-        n_intervals=7,
-    )
-    ci_pi = AppSpec(
-        name="mini_cipi",
-        phases=(
-            make_phase(
-                "a", small_ws_profile(3, 0.1), apki=3.0, chain=0.4,
-                burst=2.5, intra=0.5, ipc=uniform_ipc(1.5, 2.2, 2.8),
-                branch_mpki=5.0,
-            ),
-        ),
-        phase_pattern=(0,),
-        n_intervals=5,
-    )
-    return [cs_ps, ci_ps, cs_pi, ci_pi]
 
 
 @pytest.fixture(scope="session")

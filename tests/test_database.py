@@ -15,7 +15,7 @@ from repro.database.store import (
     save_database_cache,
 )
 
-from conftest import mini_suite
+from repro.testing import mini_suite
 
 
 class TestPhaseRecord:
@@ -124,6 +124,35 @@ class TestBuilder:
         b = db2.record("mini_csps", 0)
         assert np.array_equal(a.time_grid, b.time_grid)
         assert np.array_equal(a.lm_heur, b.lm_heur)
+
+    def test_parallel_build_bit_identical(self, system2, mini_db):
+        """Same seed => identical database regardless of worker count."""
+        db2 = build_database(
+            mini_suite(), system2, seed=7, use_cache=False, n_workers=2
+        )
+        for (_s1, _i1, _w1, a), (_s2, _i2, _w2, b) in zip(
+            mini_db.iter_phase_records(), db2.iter_phase_records(),
+            strict=True,
+        ):
+            assert a.app == b.app and a.phase == b.phase
+            assert np.array_equal(a.time_grid, b.time_grid)
+            assert np.array_equal(a.lm_heur, b.lm_heur)
+            assert np.array_equal(a.atd_miss_curve, b.atd_miss_curve)
+            assert np.array_equal(a.miss_curve, b.miss_curve)
+            assert np.array_equal(a.mem_energy_curve, b.mem_energy_curve)
+
+    def test_worker_resolution(self, system2, monkeypatch):
+        from repro.database.builder import resolve_build_workers
+
+        # explicit argument wins; clamped to the task count
+        assert resolve_build_workers(3, 10, system2) == 3
+        assert resolve_build_workers(16, 2, system2) == 2
+        # environment fallback
+        monkeypatch.setenv("REPRO_BUILD_WORKERS", "5")
+        assert resolve_build_workers(None, 10, system2) == 5
+        # auto: small (test-scale) builds stay serial
+        monkeypatch.delenv("REPRO_BUILD_WORKERS")
+        assert resolve_build_workers(None, 5, system2) == 1
 
 
 class TestStore:

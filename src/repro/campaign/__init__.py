@@ -1,0 +1,48 @@
+"""The campaign engine: plan -> dedupe -> execute -> cache simulations.
+
+Every experiment in this repository boils down to a set of *runs*: one
+multi-core simulation of a workload under a (system, resource manager,
+model, QoS, horizon, overhead) combination.  The campaign engine makes
+that set explicit:
+
+* :class:`~repro.campaign.spec.RunSpec` — a frozen, hashable description
+  of one run with a stable content fingerprint,
+* :class:`~repro.campaign.executor.Campaign` — a planner that collects
+  specs from many experiments, dedupes them by fingerprint and executes
+  the unique remainder serially or across a process pool
+  (``REPRO_CAMPAIGN_WORKERS``), bit-identically for any worker count,
+* :mod:`~repro.campaign.results` — the in-memory result memo plus the
+  optional on-disk store (``REPRO_RESULT_CACHE``) that lets repeated
+  invocations (CLI, benchmarks, tests) skip simulation entirely,
+* :func:`~repro.campaign.database.get_database` — the shared database
+  cache, rebinding one build per seed to any requested core count.
+"""
+
+from repro.campaign.database import clear_database_cache, get_database
+from repro.campaign.executor import (
+    Campaign,
+    ResultSet,
+    execute_spec,
+    resolve_campaign_workers,
+    run_campaign,
+)
+from repro.campaign.results import (
+    clear_result_memo,
+    result_from_json,
+    result_to_json,
+)
+from repro.campaign.spec import RunSpec
+
+__all__ = [
+    "Campaign",
+    "ResultSet",
+    "RunSpec",
+    "clear_database_cache",
+    "clear_result_memo",
+    "execute_spec",
+    "get_database",
+    "resolve_campaign_workers",
+    "result_from_json",
+    "result_to_json",
+    "run_campaign",
+]

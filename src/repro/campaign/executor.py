@@ -1,0 +1,252 @@
+"""Campaign planning and (parallel) execution.
+
+A :class:`Campaign` collects :class:`~repro.campaign.spec.RunSpec`s from
+any number of experiments, dedupes them by fingerprint and executes only
+the unique remainder that the result store cannot already answer.
+
+Runs are mutually independent and deterministic in their spec (the
+simulator holds no RNG and the database build is content-addressed), so
+the executor is free to partition them across a ``concurrent.futures``
+process pool: results are keyed by fingerprint, making the outcome
+bit-identical for any worker count, including serial.  Worker count
+resolves from the explicit ``n_workers`` argument, then the
+``REPRO_CAMPAIGN_WORKERS`` environment variable, then an automatic rule
+that only engages the pool for campaigns big enough to amortise process
+startup and the per-worker database load.
+
+Pending specs are sorted by (seed, core count) and handed out in
+contiguous chunks so each worker loads/rebinds a database as few times
+as possible; workers force serial database builds (nested pools would
+oversubscribe the machine).
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import replace
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.campaign.database import get_database
+from repro.campaign.results import cached_result, memoize_result, store_result
+from repro.campaign.spec import MODEL_NAMES, RunSpec
+from repro.core.managers import ResourceManager, make_rm
+from repro.core.qos import QoSPolicy
+from repro.simulator.metrics import SimResult
+from repro.simulator.rmsim import MulticoreRMSimulator
+
+__all__ = [
+    "Campaign",
+    "CampaignStats",
+    "ResultSet",
+    "execute_spec",
+    "make_model",
+    "resolve_campaign_workers",
+    "run_campaign",
+]
+
+#: Environment override for the campaign worker count.
+WORKERS_ENV = "REPRO_CAMPAIGN_WORKERS"
+
+#: Auto mode engages the pool only for at least this many pending runs.
+_AUTO_POOL_MIN_RUNS = 16
+
+
+def make_model(name: str):
+    """Instantiate a performance model by its paper name."""
+    from repro.core.perf_models import Model1, Model2, Model3, PerfectModel
+
+    models = dict(zip(MODEL_NAMES, (Model1, Model2, Model3, PerfectModel)))
+    if name not in models:
+        raise ValueError(f"unknown model {name!r}; options: {sorted(models)}")
+    return models[name]()
+
+
+def _simulate(spec: RunSpec) -> SimResult:
+    """Run one spec's simulation (no caching — see :func:`execute_spec`)."""
+    db = get_database(spec.n_cores, spec.seed)
+    system = db.system
+    if spec.rm_kind == "idle":
+        rm: ResourceManager = make_rm("idle", system)
+    elif spec.alpha is None or spec.alpha == system.qos_alpha:
+        rm = make_rm(spec.rm_kind, system, make_model(spec.model))
+    else:
+        # Eq. 3's relaxation knob: the RM optimises against the relaxed
+        # budget and the simulator checks violations against the same one.
+        relaxed = replace(system, qos_alpha=spec.alpha)
+        rm = make_rm(
+            spec.rm_kind, relaxed, make_model(spec.model),
+            qos=QoSPolicy(spec.alpha),
+        )
+    sim = MulticoreRMSimulator(db, rm, charge_overheads=spec.charge_overheads)
+    return sim.run(list(spec.apps), horizon_intervals=spec.horizon_intervals)
+
+
+def execute_spec(spec: RunSpec) -> SimResult:
+    """Result for one spec, via the store when warm."""
+    hit = cached_result(spec.fingerprint)
+    if hit is not None:
+        return hit
+    result = _simulate(spec)
+    store_result(spec.fingerprint, result)
+    return result
+
+
+def _worker_init() -> None:
+    """Pool workers must not spawn nested database-build pools."""
+    os.environ["REPRO_BUILD_WORKERS"] = "1"
+
+
+def _execute_task(spec: RunSpec) -> Tuple[str, SimResult]:
+    return spec.fingerprint, execute_spec(spec)
+
+
+def resolve_campaign_workers(n_workers: Optional[int], n_pending: int) -> int:
+    """Worker count for a campaign with ``n_pending`` uncached runs.
+
+    Priority: explicit argument, then :data:`WORKERS_ENV`, then an
+    automatic rule — parallelise only when enough independent runs are
+    pending for pool startup and per-worker database loads to pay off.
+    """
+    if n_workers is None:
+        env = os.environ.get(WORKERS_ENV)
+        if env:
+            try:
+                n_workers = int(env)
+            except ValueError:
+                raise ValueError(
+                    f"{WORKERS_ENV} must be an integer, got {env!r}"
+                ) from None
+    if n_workers is None:
+        if n_pending >= _AUTO_POOL_MIN_RUNS:
+            n_workers = min(os.cpu_count() or 1, 8)
+        else:
+            n_workers = 1
+    return max(1, min(int(n_workers), max(1, n_pending)))
+
+
+class CampaignStats:
+    """Execution accounting of one :meth:`Campaign.run`."""
+
+    def __init__(self, planned: int, unique: int, simulated: int, workers: int):
+        self.planned = planned
+        self.unique = unique
+        self.simulated = simulated
+        self.cached = unique - simulated
+        self.workers = workers
+
+    def summary(self) -> str:
+        return (
+            f"{self.planned} planned -> {self.unique} unique runs "
+            f"({self.simulated} simulated, {self.cached} cached) "
+            f"on {self.workers} worker{'s' if self.workers != 1 else ''}"
+        )
+
+
+class ResultSet:
+    """Results of one campaign, addressable by spec."""
+
+    def __init__(self, results: Dict[str, SimResult], stats: CampaignStats):
+        self._results = results
+        self.stats = stats
+
+    def __getitem__(self, spec: RunSpec) -> SimResult:
+        try:
+            return self._results[spec.fingerprint]
+        except KeyError:
+            raise KeyError(
+                f"run not in this campaign: {spec.label()}"
+            ) from None
+
+    def __contains__(self, spec: RunSpec) -> bool:
+        return spec.fingerprint in self._results
+
+    def __len__(self) -> int:
+        return len(self._results)
+
+
+class Campaign:
+    """Plan a deduped run matrix and execute it once."""
+
+    def __init__(self, specs: Iterable[RunSpec] = ()):  # noqa: D107
+        self._specs: Dict[str, RunSpec] = {}
+        self._planned = 0
+        self.add(specs)
+
+    def add(self, specs: Iterable[RunSpec]) -> "Campaign":
+        """Collect specs (duplicates merge); returns self for chaining."""
+        for spec in specs:
+            self._planned += 1
+            self._specs.setdefault(spec.fingerprint, spec)
+        return self
+
+    @property
+    def unique_specs(self) -> List[RunSpec]:
+        """The deduped plan, in first-added order."""
+        return list(self._specs.values())
+
+    @property
+    def planned(self) -> int:
+        """How many specs were added, duplicates included."""
+        return self._planned
+
+    def __len__(self) -> int:
+        return len(self._specs)
+
+    def run(self, n_workers: Optional[int] = None) -> ResultSet:
+        """Execute every unique run exactly once; warm results are free.
+
+        Bit-identical for any ``n_workers`` (each run is independent and
+        deterministic in its spec; only scheduling changes).
+        """
+        specs = self.unique_specs
+        results: Dict[str, SimResult] = {}
+        pending: List[RunSpec] = []
+        for spec in specs:
+            hit = cached_result(spec.fingerprint)
+            if hit is not None:
+                results[spec.fingerprint] = hit
+            else:
+                pending.append(spec)
+
+        workers = resolve_campaign_workers(n_workers, len(pending))
+        if workers > 1 and len(pending) > 1:
+            # Warm every needed database in the parent first: each build
+            # happens once (and lands in the on-disk cache) instead of
+            # once per worker, and forked workers inherit the binding.
+            for n_cores, seed in sorted({(s.n_cores, s.seed) for s in pending}):
+                get_database(n_cores, seed)
+            # Contiguous (seed, n_cores) chunks minimise database loads
+            # per worker; result identity is unaffected by schedule.
+            ordered = sorted(
+                pending, key=lambda s: (s.seed, s.n_cores, s.fingerprint)
+            )
+            chunksize = max(1, -(-len(ordered) // workers))
+            with ProcessPoolExecutor(
+                max_workers=workers, initializer=_worker_init
+            ) as pool:
+                for fp, result in pool.map(
+                    _execute_task, ordered, chunksize=chunksize
+                ):
+                    # Workers already persisted to any on-disk store;
+                    # the parent only needs the in-memory memo.
+                    memoize_result(fp, result)
+                    results[fp] = result
+        else:
+            for spec in pending:
+                results[spec.fingerprint] = execute_spec(spec)
+
+        stats = CampaignStats(
+            planned=self._planned,
+            unique=len(specs),
+            simulated=len(pending),
+            workers=workers,
+        )
+        return ResultSet(results, stats)
+
+
+def run_campaign(
+    specs: Sequence[RunSpec], n_workers: Optional[int] = None
+) -> ResultSet:
+    """One-shot convenience: plan, dedupe and execute ``specs``."""
+    return Campaign(specs).run(n_workers=n_workers)

@@ -1,0 +1,175 @@
+"""Result store: in-memory memo plus the optional on-disk cache.
+
+Results are keyed by the :class:`~repro.campaign.spec.RunSpec`
+fingerprint, which already folds in the database fingerprint and a
+result-format version — a hit can therefore be trusted without
+re-checking inputs.  The in-memory memo makes repeated plans within one
+process (``run_all`` after a single experiment, benchmark rounds, test
+fixtures) free; setting ``REPRO_RESULT_CACHE`` to a directory extends
+that across processes via one JSON file per result.
+
+JSON keeps the store transparent and diff-able; Python's ``repr``-based
+float serialisation round-trips exactly, so a cache hit is bit-identical
+to the simulation that produced it (covered by the differential tests).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Dict, Optional
+
+from repro.config import CoreSize, Setting
+from repro.power.energy import EnergyBreakdown
+from repro.simulator.metrics import SettingChange, SimResult
+
+__all__ = [
+    "cached_result",
+    "clear_result_memo",
+    "memo_size",
+    "memoize_result",
+    "result_cache_dir",
+    "result_from_json",
+    "result_to_json",
+    "store_result",
+]
+
+#: Environment variable naming the on-disk result-cache directory.
+CACHE_ENV = "REPRO_RESULT_CACHE"
+
+_MEMO: Dict[str, SimResult] = {}
+
+_ENERGY_FIELDS = (
+    "core_dynamic_j",
+    "core_static_j",
+    "memory_j",
+    "uncore_j",
+    "overhead_j",
+)
+
+
+def result_to_json(result: SimResult) -> str:
+    """Serialise a :class:`SimResult` (history included when collected)."""
+    history = None
+    if result.history is not None:
+        history = [
+            [
+                ch.time_s,
+                ch.core_id,
+                ch.setting.core.name,
+                ch.setting.f_ghz,
+                ch.setting.ways,
+            ]
+            for ch in result.history
+        ]
+    return json.dumps(
+        {
+            "rm_name": result.rm_name,
+            "apps": list(result.apps),
+            "per_core_energy": [
+                [getattr(e, f) for f in _ENERGY_FIELDS]
+                for e in result.per_core_energy
+            ],
+            "uncore_j": result.uncore_j,
+            "t_end_s": result.t_end_s,
+            "horizon_instructions": result.horizon_instructions,
+            "intervals_completed": result.intervals_completed,
+            "qos_checks": result.qos_checks,
+            "violations": list(result.violations),
+            "rm_invocations": result.rm_invocations,
+            "rm_instructions": result.rm_instructions,
+            "history": history,
+        }
+    )
+
+
+def result_from_json(text: str) -> SimResult:
+    data = json.loads(text)
+    history = None
+    if data["history"] is not None:
+        history = [
+            SettingChange(
+                time_s=t,
+                core_id=core_id,
+                setting=Setting(core=CoreSize[size], f_ghz=f, ways=ways),
+            )
+            for t, core_id, size, f, ways in data["history"]
+        ]
+    return SimResult(
+        rm_name=data["rm_name"],
+        apps=tuple(data["apps"]),
+        per_core_energy=[
+            EnergyBreakdown(**dict(zip(_ENERGY_FIELDS, vals)))
+            for vals in data["per_core_energy"]
+        ],
+        uncore_j=data["uncore_j"],
+        t_end_s=data["t_end_s"],
+        horizon_instructions=data["horizon_instructions"],
+        intervals_completed=data["intervals_completed"],
+        qos_checks=data["qos_checks"],
+        violations=list(data["violations"]),
+        rm_invocations=data["rm_invocations"],
+        rm_instructions=data["rm_instructions"],
+        history=history,
+    )
+
+
+def result_cache_dir() -> Optional[Path]:
+    """On-disk cache root, or None when :data:`CACHE_ENV` is unset."""
+    root = os.environ.get(CACHE_ENV)
+    return Path(root) if root else None
+
+
+def cached_result(fingerprint: str) -> Optional[SimResult]:
+    """Memo hit, then disk hit (promoted to the memo), else None."""
+    hit = _MEMO.get(fingerprint)
+    if hit is not None:
+        return hit
+    root = result_cache_dir()
+    if root is None:
+        return None
+    file = root / f"{fingerprint}.json"
+    try:
+        text = file.read_text()
+    except OSError:
+        return None
+    try:
+        result = result_from_json(text)
+    except (KeyError, TypeError, ValueError, json.JSONDecodeError):
+        return None
+    _MEMO[fingerprint] = result
+    return result
+
+
+def memoize_result(fingerprint: str, result: SimResult) -> None:
+    """Record a result in the in-memory memo only (no disk write) —
+    for results a pool worker already persisted."""
+    _MEMO[fingerprint] = result
+
+
+def store_result(fingerprint: str, result: SimResult) -> None:
+    """Record a result in the memo and (best-effort) on disk."""
+    _MEMO[fingerprint] = result
+    root = result_cache_dir()
+    if root is None:
+        return
+    try:
+        root.mkdir(parents=True, exist_ok=True)
+        # Per-process tmp name: concurrent writers of one fingerprint
+        # (e.g. two CI jobs sharing a cache) must not interleave on an
+        # inode that one of them then publishes.
+        tmp = root / f"{fingerprint}.{os.getpid()}.tmp"
+        tmp.write_text(result_to_json(result))
+        os.replace(tmp, root / f"{fingerprint}.json")
+    except OSError:
+        pass
+
+
+def clear_result_memo() -> None:
+    """Drop the in-memory memo (tests/benchmarks; disk is untouched)."""
+    _MEMO.clear()
+
+
+def memo_size() -> int:
+    return len(_MEMO)

@@ -5,8 +5,15 @@ Usage::
     python -m repro list                 # available experiments
     python -m repro fig7                 # one experiment, full scale
     python -m repro fig6 --quick         # shrunk workloads/horizons
-    python -m repro all --quick          # everything
+    python -m repro all --quick          # everything, one merged campaign
+    python -m repro all --quick --workers 4   # ... across 4 processes
+    python -m repro all --quick --csv-dir out # ... persisting CSV tables
     python -m repro fig6 --seed 7 --workloads 3 --cores 4
+
+Every experiment plans its simulations through the campaign engine;
+``all`` merges the plans so shared runs simulate exactly once.  The
+``--workers`` flag (or ``REPRO_CAMPAIGN_WORKERS``) fans unique runs out
+over a process pool — results are bit-identical for any worker count.
 """
 
 from __future__ import annotations
@@ -14,10 +21,16 @@ from __future__ import annotations
 import argparse
 import sys
 import time
+from pathlib import Path
 from typing import Sequence
 
 from repro.experiments.common import ExperimentConfig
-from repro.experiments.runner import EXPERIMENTS, run_all, run_experiment
+from repro.experiments.runner import (
+    EXPERIMENTS,
+    plan_all,
+    render_all,
+    run_experiment,
+)
 
 __all__ = ["main", "build_parser"]
 
@@ -47,7 +60,31 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="core counts for the multi-core experiments (default: 4 8)",
     )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        metavar="N",
+        help=(
+            "campaign worker processes (default: REPRO_CAMPAIGN_WORKERS "
+            "or an automatic rule; results are identical for any value)"
+        ),
+    )
+    parser.add_argument(
+        "--csv-dir",
+        type=Path,
+        default=None,
+        metavar="PATH",
+        help="write each experiment's table as <PATH>/<name>.csv",
+    )
     return parser
+
+
+def _emit(result, csv_dir: Path | None) -> None:
+    print(result.rendered())
+    print()
+    if csv_dir is not None:
+        result.write_csv(csv_dir / f"{result.name}.csv")
 
 
 def main(argv: Sequence[str] | None = None) -> int:
@@ -64,13 +101,20 @@ def main(argv: Sequence[str] | None = None) -> int:
         workloads_per_scenario=args.workloads,
         core_counts=tuple(args.cores) if args.cores else (4, 8),
     )
+    if args.csv_dir is not None:
+        args.csv_dir.mkdir(parents=True, exist_ok=True)
+
     t0 = time.time()
     if args.experiment == "all":
-        for result in run_all(cfg):
-            print(result.rendered())
-            print()
+        results = plan_all(cfg).run(n_workers=args.workers)
+        print(f"[campaign: {results.stats.summary()}]", file=sys.stderr)
+        for result in render_all(cfg, results):
+            _emit(result, args.csv_dir)
     else:
-        print(run_experiment(args.experiment, cfg).rendered())
+        _emit(
+            run_experiment(args.experiment, cfg, n_workers=args.workers),
+            args.csv_dir,
+        )
     print(f"[done in {time.time() - t0:.1f}s]", file=sys.stderr)
     return 0
 

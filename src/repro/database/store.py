@@ -128,7 +128,9 @@ def save_database_cache(db, suite: Sequence[AppSpec], seed: int) -> Optional[Pat
             )
             payload[prefix + "phase"] = np.array(rec.phase)
     payload["__meta__"] = np.array(json.dumps(meta))
-    tmp = file.with_suffix(".tmp.npz")
+    # Per-process tmp name: concurrent writers (e.g. campaign pool
+    # workers racing a cold cache) must not interleave on one inode.
+    tmp = file.with_suffix(f".tmp{os.getpid()}.npz")
     try:
         np.savez_compressed(tmp, **payload)
         os.replace(tmp, file)

@@ -12,8 +12,13 @@
 ``overheads_table`` Sec III-E  — RM instruction overhead scaling
 ==================  ====================================================
 
-Every module exposes ``run(cfg) -> ExperimentResult`` and can be invoked
-via ``python -m repro <name>``.
+Every module is a declarative plan over the campaign engine
+(:mod:`repro.campaign`): ``specs(cfg) -> list[RunSpec]`` names the
+simulations it needs, ``render(cfg, results) -> ExperimentResult`` turns
+campaign results into the artefact, and ``run(cfg, n_workers=...)``
+wires the two through one campaign.  ``python -m repro <name>`` invokes
+a single module; ``python -m repro all`` merges every module's specs
+into one deduped campaign first.
 """
 
 from repro.experiments.common import ExperimentConfig, ExperimentResult, get_database

@@ -3,45 +3,44 @@
 ``ExperimentConfig`` carries the knobs every experiment respects — most
 importantly ``quick``, which shrinks workload counts and horizons so the
 benchmark suite stays fast while ``python -m repro --full`` reproduces the
-paper-scale runs.  Databases are built once per core count and shared
-(records are core-count independent; only the system binding changes).
+paper-scale runs.
+
+Experiments are *declarative plans* over the campaign engine: each module
+exposes ``specs(cfg) -> list[RunSpec]`` naming every simulation it needs
+and ``render(cfg, results) -> ExperimentResult`` turning the campaign's
+results into the paper artefact.  :func:`run_declarative` wires one module
+through its own campaign; :func:`repro.experiments.runner.run_all` merges
+every module's specs into a single campaign so shared runs (e.g. the Idle
+baselines of Fig. 6 and Fig. 9) simulate exactly once.
+
+:func:`run_workload` remains the pre-campaign serial reference path — the
+differential tests assert the engine is bit-identical to it.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Dict, List, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
-from repro.config import SystemConfig, default_system
+from repro.campaign import Campaign, ResultSet, RunSpec, get_database
+from repro.campaign.executor import make_model
+from repro.campaign.spec import MODEL_NAMES, RM_KINDS
+from repro.config import SystemConfig
 from repro.core.managers import ResourceManager, make_rm
-from repro.core.perf_models import (
-    Model1,
-    Model2,
-    Model3,
-    PerfectModel,
-    PerformanceModel,
-)
-from repro.database.builder import SimDatabase, build_database
+from repro.database.builder import SimDatabase
 from repro.simulator.metrics import SimResult
 from repro.simulator.rmsim import MulticoreRMSimulator
-from repro.trace.spec import AppSpec
-from repro.workloads.suite import spec_suite
 
 __all__ = [
     "ExperimentConfig",
     "ExperimentResult",
     "get_database",
     "make_model",
+    "run_declarative",
     "run_workload",
     "MODEL_NAMES",
     "RM_KINDS",
 ]
-
-MODEL_NAMES: Tuple[str, ...] = ("Model1", "Model2", "Model3", "Perfect")
-RM_KINDS: Tuple[str, ...] = ("rm1", "rm2", "rm3")
-
-_DB_CACHE: Dict[Tuple[int, int], SimDatabase] = {}
-
 
 @dataclass(frozen=True)
 class ExperimentConfig:
@@ -104,53 +103,27 @@ class ExperimentResult:
         Path(path).write_text(self.to_csv())
 
 
-def get_database(
-    n_cores: int, seed: int = 2020, suite: Sequence[AppSpec] | None = None
-) -> SimDatabase:
-    """Database for a core count (records shared across core counts).
-
-    Phase records do not depend on the core count (grids span the full
-    per-core setting space; the budget only matters to the optimiser), so
-    one build is re-bound to each requested system.
-    """
-    key = (n_cores, seed)
-    if key in _DB_CACHE:
-        return _DB_CACHE[key]
-    suite = list(suite) if suite is not None else spec_suite()
-    base_key = (4, seed)
-    if base_key in _DB_CACHE:
-        base = _DB_CACHE[base_key]
-        db = SimDatabase(
-            system=default_system(n_cores), apps=base.apps, records=base.records
-        )
-    else:
-        db = build_database(suite, default_system(n_cores), seed=seed)
-    _DB_CACHE[key] = db
-    return db
-
-
-def make_model(name: str) -> PerformanceModel:
-    """Instantiate a performance model by its paper name."""
-    models = {
-        "Model1": Model1,
-        "Model2": Model2,
-        "Model3": Model3,
-        "Perfect": PerfectModel,
-    }
-    if name not in models:
-        raise ValueError(f"unknown model {name!r}; options: {sorted(models)}")
-    return models[name]()
+def run_declarative(
+    specs_fn: Callable[[ExperimentConfig], List[RunSpec]],
+    render_fn: Callable[[ExperimentConfig, ResultSet], ExperimentResult],
+    cfg: ExperimentConfig | None = None,
+    n_workers: Optional[int] = None,
+) -> ExperimentResult:
+    """Run one experiment module through its own campaign."""
+    cfg = (cfg or ExperimentConfig()).effective()
+    results = Campaign(specs_fn(cfg)).run(n_workers=n_workers)
+    return render_fn(cfg, results)
 
 
 def run_workload(
     db: SimDatabase,
     rm_kind: str,
     model_name: str | None,
-    apps: Sequence[str],
+    apps,
     horizon_intervals: int | None = None,
     charge_overheads: bool = True,
 ) -> SimResult:
-    """Run one workload under one manager/model combination."""
+    """Run one workload serially (the campaign engine's reference path)."""
     system: SystemConfig = db.system
     if rm_kind == "idle":
         rm: ResourceManager = make_rm("idle", system)

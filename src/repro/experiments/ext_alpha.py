@@ -11,21 +11,17 @@ in Fig. 7.
 
 from __future__ import annotations
 
-from dataclasses import replace
-from typing import Dict, List
+from typing import Dict, List, Tuple
 
-from repro.core.managers import make_rm
-from repro.core.qos import QoSPolicy
+from repro.campaign import ResultSet, RunSpec
 from repro.experiments.common import (
     ExperimentConfig,
     ExperimentResult,
-    get_database,
-    make_model,
+    run_declarative,
 )
 from repro.simulator.metrics import energy_savings
-from repro.simulator.rmsim import MulticoreRMSimulator
 
-__all__ = ["run", "ALPHA_LADDER", "SWEEP_WORKLOADS"]
+__all__ = ["run", "specs", "render", "ALPHA_LADDER", "SWEEP_WORKLOADS"]
 
 ALPHA_LADDER = (1.0, 1.05, 1.10, 1.20)
 
@@ -38,29 +34,44 @@ SWEEP_WORKLOADS = {
 }
 
 
-def run(cfg: ExperimentConfig | None = None) -> ExperimentResult:
-    cfg = (cfg or ExperimentConfig()).effective()
-    db = get_database(4, cfg.seed)
-    horizon = cfg.horizon_intervals
+def _idle_spec(cfg: ExperimentConfig, apps: Tuple[str, ...]) -> RunSpec:
+    return RunSpec(
+        seed=cfg.seed, n_cores=4, rm_kind="idle", model=None, apps=apps,
+        horizon_intervals=cfg.horizon_intervals, charge_overheads=False,
+    )
 
+
+def _alpha_spec(
+    cfg: ExperimentConfig, apps: Tuple[str, ...], alpha: float
+) -> RunSpec:
+    return RunSpec(
+        seed=cfg.seed, n_cores=4, rm_kind="rm3", model="Model3", apps=apps,
+        alpha=alpha, horizon_intervals=cfg.horizon_intervals,
+    )
+
+
+def specs(cfg: ExperimentConfig) -> List[RunSpec]:
+    cfg = cfg.effective()
+    out: List[RunSpec] = []
+    for _scenario, apps in sorted(SWEEP_WORKLOADS.items()):
+        out.append(_idle_spec(cfg, apps))
+        out.extend(_alpha_spec(cfg, apps, a) for a in ALPHA_LADDER)
+    return out
+
+
+def render(cfg: ExperimentConfig, results: ResultSet) -> ExperimentResult:
+    cfg = cfg.effective()
     rows: List[List] = []
     data: Dict = {}
     for scenario, apps in sorted(SWEEP_WORKLOADS.items()):
-        idle = MulticoreRMSimulator(
-            db, make_rm("idle", db.system), charge_overheads=False
-        ).run(list(apps), horizon_intervals=horizon)
+        idle = results[_idle_spec(cfg, apps)]
         per_alpha = {}
         for alpha in ALPHA_LADDER:
-            system = replace(db.system, qos_alpha=alpha)
-            rm = make_rm(
-                "rm3", system, make_model("Model3"), qos=QoSPolicy(alpha)
-            )
-            res = MulticoreRMSimulator(db, rm).run(
-                list(apps), horizon_intervals=horizon
-            )
-            saving = energy_savings(res, idle)
-            worst = max(res.violations, default=0.0)
-            per_alpha[alpha] = {"saving": saving, "worst_violation": worst}
+            res = results[_alpha_spec(cfg, apps, alpha)]
+            per_alpha[alpha] = {
+                "saving": energy_savings(res, idle),
+                "worst_violation": max(res.violations, default=0.0),
+            }
         data[scenario] = per_alpha
         rows.append(
             [f"S{scenario}", "+".join(apps)]
@@ -85,6 +96,12 @@ def run(cfg: ExperimentConfig | None = None) -> ExperimentResult:
         notes=notes,
         data=data,
     )
+
+
+def run(
+    cfg: ExperimentConfig | None = None, n_workers: int | None = None
+) -> ExperimentResult:
+    return run_declarative(specs, render, cfg, n_workers)
 
 
 if __name__ == "__main__":

@@ -30,14 +30,25 @@ from typing import Dict, List
 import numpy as np
 
 from repro.atd.mlp import MLPCounterArray
+from repro.campaign import ResultSet, RunSpec
 from repro.config import CORE_PARAMS, CoreSize
-from repro.experiments.common import ExperimentConfig, ExperimentResult
+from repro.experiments.common import (
+    ExperimentConfig,
+    ExperimentResult,
+    run_declarative,
+)
 from repro.microarch.leading import leading_miss_matrix
 from repro.trace.generator import PhaseTraceGenerator
 from repro.trace.stream import FRESH
 from repro.workloads.suite import app_by_name
 
-__all__ = ["run", "lm_error_for_window", "lm_undercount_for_counter_bits"]
+__all__ = [
+    "run",
+    "specs",
+    "render",
+    "lm_error_for_window",
+    "lm_undercount_for_counter_bits",
+]
 
 #: Applications probed (one per category).
 PROBE_APPS = ("mcf", "xalancbmk", "libquantum", "astar")
@@ -90,8 +101,14 @@ def lm_undercount_for_counter_bits(stream, bits: int, scale: float) -> float:
     return float((total - saturated.sum()) / total)
 
 
-def run(cfg: ExperimentConfig | None = None) -> ExperimentResult:
-    cfg = (cfg or ExperimentConfig()).effective()
+def specs(cfg: ExperimentConfig) -> List[RunSpec]:
+    del cfg  # trace-level analysis: no simulation runs
+    return []
+
+
+def render(cfg: ExperimentConfig, results: ResultSet) -> ExperimentResult:
+    del results
+    cfg = cfg.effective()
     _gen, traces = _probe_traces(cfg.seed)
     max_rob = CORE_PARAMS[CoreSize.L].rob
 
@@ -136,6 +153,12 @@ def run(cfg: ExperimentConfig | None = None) -> ExperimentResult:
         notes=notes,
         data=data,
     )
+
+
+def run(
+    cfg: ExperimentConfig | None = None, n_workers: int | None = None
+) -> ExperimentResult:
+    return run_declarative(specs, render, cfg, n_workers)
 
 
 if __name__ == "__main__":

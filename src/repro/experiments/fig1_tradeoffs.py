@@ -1,9 +1,20 @@
-"""Fig. 1: the trade-off matrix and workload-mix probabilities."""
+"""Fig. 1: the trade-off matrix and workload-mix probabilities.
+
+Static classification over the database — its campaign plan is empty.
+"""
 
 from __future__ import annotations
 
+from typing import List
+
 from repro.analysis.tradeoffs import tradeoff_matrix
-from repro.experiments.common import ExperimentConfig, ExperimentResult, get_database
+from repro.campaign import ResultSet, RunSpec
+from repro.experiments.common import (
+    ExperimentConfig,
+    ExperimentResult,
+    get_database,
+    run_declarative,
+)
 from repro.workloads.categories import classify_suite
 from repro.workloads.scenarios import (
     PAPER_SCENARIO_WEIGHTS,
@@ -11,11 +22,17 @@ from repro.workloads.scenarios import (
     scenario_weights,
 )
 
-__all__ = ["run"]
+__all__ = ["run", "specs", "render"]
 
 
-def run(cfg: ExperimentConfig | None = None) -> ExperimentResult:
-    cfg = (cfg or ExperimentConfig()).effective()
+def specs(cfg: ExperimentConfig) -> List[RunSpec]:
+    del cfg  # static: no simulation runs
+    return []
+
+
+def render(cfg: ExperimentConfig, results: ResultSet) -> ExperimentResult:
+    del results
+    cfg = cfg.effective()
     db = get_database(4, cfg.seed)
     counts = category_counts_from(classify_suite(db))
     cells = tradeoff_matrix(counts)
@@ -47,6 +64,12 @@ def run(cfg: ExperimentConfig | None = None) -> ExperimentResult:
         notes=notes,
         data={"counts": counts, "weights": weights, "cells": cells},
     )
+
+
+def run(
+    cfg: ExperimentConfig | None = None, n_workers: int | None = None
+) -> ExperimentResult:
+    return run_declarative(specs, render, cfg, n_workers)
 
 
 if __name__ == "__main__":

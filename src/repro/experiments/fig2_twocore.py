@@ -14,16 +14,16 @@ from __future__ import annotations
 
 from typing import Dict, List, Tuple
 
+from repro.campaign import ResultSet, RunSpec
 from repro.experiments.common import (
     ExperimentConfig,
     ExperimentResult,
     RM_KINDS,
-    get_database,
-    run_workload,
+    run_declarative,
 )
 from repro.simulator.metrics import energy_savings
 
-__all__ = ["run", "REPRESENTATIVE_MIXES"]
+__all__ = ["run", "specs", "render", "REPRESENTATIVE_MIXES"]
 
 #: One representative mix per scenario (category structure per Fig. 1).
 REPRESENTATIVE_MIXES: Dict[int, Tuple[str, str]] = {
@@ -34,28 +34,37 @@ REPRESENTATIVE_MIXES: Dict[int, Tuple[str, str]] = {
 }
 
 
-def run(cfg: ExperimentConfig | None = None) -> ExperimentResult:
-    cfg = (cfg or ExperimentConfig()).effective()
-    db = get_database(2, cfg.seed)
-    horizon = cfg.horizon_intervals or 24
+def _spec(cfg: ExperimentConfig, apps: Tuple[str, str], kind: str) -> RunSpec:
+    return RunSpec(
+        seed=cfg.seed,
+        n_cores=2,
+        rm_kind=kind,
+        model=None if kind == "idle" else "Perfect",
+        apps=apps,
+        horizon_intervals=cfg.horizon_intervals or 24,
+        charge_overheads=False,
+    )
 
+
+def specs(cfg: ExperimentConfig) -> List[RunSpec]:
+    cfg = cfg.effective()
+    return [
+        _spec(cfg, apps, kind)
+        for _scenario, apps in sorted(REPRESENTATIVE_MIXES.items())
+        for kind in ("idle",) + RM_KINDS
+    ]
+
+
+def render(cfg: ExperimentConfig, results: ResultSet) -> ExperimentResult:
+    cfg = cfg.effective()
     rows: List[List] = []
     savings: Dict[int, Dict[str, float]] = {}
     for scenario, apps in sorted(REPRESENTATIVE_MIXES.items()):
-        idle = run_workload(
-            db, "idle", None, apps, horizon_intervals=horizon, charge_overheads=False
-        )
-        per_rm = {}
-        for kind in RM_KINDS:
-            res = run_workload(
-                db,
-                kind,
-                "Perfect",
-                apps,
-                horizon_intervals=horizon,
-                charge_overheads=False,
-            )
-            per_rm[kind] = energy_savings(res, idle)
+        idle = results[_spec(cfg, apps, "idle")]
+        per_rm = {
+            kind: energy_savings(results[_spec(cfg, apps, kind)], idle)
+            for kind in RM_KINDS
+        }
         savings[scenario] = per_rm
         rows.append(
             [
@@ -80,6 +89,12 @@ def run(cfg: ExperimentConfig | None = None) -> ExperimentResult:
         notes=notes,
         data={"savings": savings},
     )
+
+
+def run(
+    cfg: ExperimentConfig | None = None, n_workers: int | None = None
+) -> ExperimentResult:
+    return run_declarative(specs, render, cfg, n_workers)
 
 
 if __name__ == "__main__":

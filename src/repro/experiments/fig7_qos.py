@@ -1,13 +1,23 @@
-"""Fig. 7: QoS violation probability, expected value and std per model."""
+"""Fig. 7: QoS violation probability, expected value and std per model.
+
+An analytic sweep over the database (no simulator runs), so its campaign
+plan is empty; everything happens in :func:`render`.
+"""
 
 from __future__ import annotations
 
-from typing import Dict
+from typing import Dict, List
 
 from repro.analysis.stats import QoSStudyResult, qos_violation_study
-from repro.experiments.common import ExperimentConfig, ExperimentResult, get_database
+from repro.campaign import ResultSet, RunSpec
+from repro.experiments.common import (
+    ExperimentConfig,
+    ExperimentResult,
+    get_database,
+    run_declarative,
+)
 
-__all__ = ["run"]
+__all__ = ["run", "specs", "render"]
 
 #: The paper's reported relative improvements of Model3.
 PAPER_REDUCTIONS = {
@@ -18,15 +28,21 @@ PAPER_REDUCTIONS = {
 }
 
 
-def run(cfg: ExperimentConfig | None = None) -> ExperimentResult:
-    cfg = (cfg or ExperimentConfig()).effective()
+def specs(cfg: ExperimentConfig) -> List[RunSpec]:
+    del cfg  # analytic: no simulation runs
+    return []
+
+
+def render(cfg: ExperimentConfig, results: ResultSet) -> ExperimentResult:
+    del results
+    cfg = cfg.effective()
     db = get_database(4, cfg.seed)
 
-    results: Dict[str, QoSStudyResult] = {}
+    studies: Dict[str, QoSStudyResult] = {}
     rows = []
     for model in ("Model1", "Model2", "Model3"):
         r = qos_violation_study(db, model)
-        results[model] = r
+        studies[model] = r
         rows.append(
             [
                 model,
@@ -36,7 +52,7 @@ def run(cfg: ExperimentConfig | None = None) -> ExperimentResult:
             ]
         )
 
-    m1, m2, m3 = (results[m] for m in ("Model1", "Model2", "Model3"))
+    m1, m2, m3 = (studies[m] for m in ("Model1", "Model2", "Model3"))
     reductions = {
         "probability_vs_model1": 1 - m3.probability / m1.probability,
         "probability_vs_model2": 1 - m3.probability / m2.probability,
@@ -55,8 +71,14 @@ def run(cfg: ExperimentConfig | None = None) -> ExperimentResult:
         headers=["model", "P(violation)", "E[violation]", "std"],
         rows=rows,
         notes=notes,
-        data={"results": results, "reductions": reductions},
+        data={"results": studies, "reductions": reductions},
     )
+
+
+def run(
+    cfg: ExperimentConfig | None = None, n_workers: int | None = None
+) -> ExperimentResult:
+    return run_declarative(specs, render, cfg, n_workers)
 
 
 if __name__ == "__main__":

@@ -4,39 +4,55 @@ X-axis: violation magnitude bins; Y-axis: weighted occurrence counts
 normalised to the maximum count across the three models (the paper's
 normalisation).  The expected shape: Model3 may show slightly more mass in
 the smallest bin but a substantially smaller total and a much shorter tail.
+
+Analytic sweep over the database — its campaign plan is empty.
 """
 
 from __future__ import annotations
 
+from typing import List
+
 import numpy as np
 
 from repro.analysis.stats import qos_violation_study
-from repro.experiments.common import ExperimentConfig, ExperimentResult, get_database
+from repro.campaign import ResultSet, RunSpec
+from repro.experiments.common import (
+    ExperimentConfig,
+    ExperimentResult,
+    get_database,
+    run_declarative,
+)
 
-__all__ = ["run"]
+__all__ = ["run", "specs", "render"]
 
 
-def run(cfg: ExperimentConfig | None = None) -> ExperimentResult:
-    cfg = (cfg or ExperimentConfig()).effective()
+def specs(cfg: ExperimentConfig) -> List[RunSpec]:
+    del cfg  # analytic: no simulation runs
+    return []
+
+
+def render(cfg: ExperimentConfig, results: ResultSet) -> ExperimentResult:
+    del results
+    cfg = cfg.effective()
     db = get_database(4, cfg.seed)
     bins = np.arange(0.0, 0.525, 0.05)
 
-    results = {
+    studies = {
         m: qos_violation_study(db, m, bins=bins)
         for m in ("Model1", "Model2", "Model3")
     }
-    peak = max(float(r.histogram.counts.max()) for r in results.values())
+    peak = max(float(r.histogram.counts.max()) for r in studies.values())
 
     rows = []
     for i in range(len(bins) - 1):
         row = [f"{100 * bins[i]:.0f}-{100 * bins[i + 1]:.0f}%"]
         for m in ("Model1", "Model2", "Model3"):
-            norm = results[m].histogram.normalised_to(peak)
+            norm = studies[m].histogram.normalised_to(peak)
             row.append(f"{norm[i]:.3f}")
         rows.append(row)
 
     tails = {
-        m: float(results[m].histogram.counts[2:].sum()) for m in results
+        m: float(studies[m].histogram.counts[2:].sum()) for m in studies
     }  # mass above 10%
     notes = [
         "counts normalised to the max bin across models (paper's y-axis)",
@@ -48,8 +64,14 @@ def run(cfg: ExperimentConfig | None = None) -> ExperimentResult:
         headers=["violation bin", "Model1", "Model2", "Model3"],
         rows=rows,
         notes=notes,
-        data={"results": results, "bins": bins, "tails": tails},
+        data={"results": studies, "bins": bins, "tails": tails},
     )
+
+
+def run(
+    cfg: ExperimentConfig | None = None, n_workers: int | None = None
+) -> ExperimentResult:
+    return run_declarative(specs, render, cfg, n_workers)
 
 
 if __name__ == "__main__":

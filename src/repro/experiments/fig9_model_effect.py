@@ -4,51 +4,54 @@ Runs the same scenario workloads as Fig. 6 with RM3 under each of Model1,
 Model2, Model3 and the Perfect oracle (which also predicts phase
 transitions exactly).  The paper's expectation: Model3's savings sit closest
 to the perfect-model envelope.
+
+Declarative plan: the Idle baselines and the RM3/Model3 runs are the same
+specs Fig. 6 plans, so one merged campaign simulates them once for both.
 """
 
 from __future__ import annotations
 
 from typing import Dict, List
 
+from repro.campaign import ResultSet, RunSpec
 from repro.experiments.common import (
     ExperimentConfig,
     ExperimentResult,
     MODEL_NAMES,
-    get_database,
-    run_workload,
+    run_declarative,
 )
+from repro.experiments.fig6_energy import mix_spec, scenario_mixes
 from repro.simulator.metrics import energy_savings
-from repro.workloads.categories import classify_suite
-from repro.workloads.mixes import generate_workloads
 
-__all__ = ["run"]
+__all__ = ["run", "specs", "render"]
 
 
-def run(cfg: ExperimentConfig | None = None) -> ExperimentResult:
-    cfg = (cfg or ExperimentConfig()).effective()
+def specs(cfg: ExperimentConfig) -> List[RunSpec]:
+    cfg = cfg.effective()
+    out: List[RunSpec] = []
+    for n_cores in cfg.core_counts:
+        for _scenario, mixes in sorted(scenario_mixes(cfg, n_cores).items()):
+            for mix in mixes:
+                out.append(mix_spec(cfg, n_cores, mix, "idle"))
+                out.extend(
+                    mix_spec(cfg, n_cores, mix, "rm3", m) for m in MODEL_NAMES
+                )
+    return out
+
+
+def render(cfg: ExperimentConfig, results: ResultSet) -> ExperimentResult:
+    cfg = cfg.effective()
     rows: List[List] = []
     summary: Dict[int, Dict[str, List[float]]] = {}
 
     for n_cores in cfg.core_counts:
-        db = get_database(n_cores, cfg.seed)
-        categories = classify_suite(db)
         per_model: Dict[str, List[float]] = {m: [] for m in MODEL_NAMES}
-        for scenario in (1, 2, 3, 4):
-            mixes = generate_workloads(
-                categories, scenario, n_cores,
-                cfg.workloads_per_scenario, seed=cfg.seed,
-            )
+        for _scenario, mixes in sorted(scenario_mixes(cfg, n_cores).items()):
             for mix in mixes:
-                idle = run_workload(
-                    db, "idle", None, mix.apps,
-                    horizon_intervals=cfg.horizon_intervals,
-                )
+                idle = results[mix_spec(cfg, n_cores, mix, "idle")]
                 row = [mix.label]
                 for model in MODEL_NAMES:
-                    res = run_workload(
-                        db, "rm3", model, mix.apps,
-                        horizon_intervals=cfg.horizon_intervals,
-                    )
+                    res = results[mix_spec(cfg, n_cores, mix, "rm3", model)]
                     saving = energy_savings(res, idle)
                     per_model[model].append(saving)
                     row.append(f"{100 * saving:.1f}%")
@@ -84,6 +87,12 @@ def run(cfg: ExperimentConfig | None = None) -> ExperimentResult:
         notes=notes,
         data={"summary": summary},
     )
+
+
+def run(
+    cfg: ExperimentConfig | None = None, n_workers: int | None = None
+) -> ExperimentResult:
+    return run_declarative(specs, render, cfg, n_workers)
 
 
 if __name__ == "__main__":

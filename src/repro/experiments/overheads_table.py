@@ -7,12 +7,16 @@ tabulates them against the paper's measured instruction counts
 (RM3: 51K/73K/100K, RM2: 18K/40K/67K).  The overhead fraction of a
 100M-instruction interval is reported as in the paper (0.1% for RM3 at
 8 cores).
+
+Measures single RM invocations, not simulations — its campaign plan is
+empty.
 """
 
 from __future__ import annotations
 
 from typing import Dict, List, Tuple
 
+from repro.campaign import ResultSet, RunSpec
 from repro.core.managers import make_rm
 from repro.core.overheads import PAPER_RM_INSTRUCTIONS, RMCostModel
 from repro.core.perf_models import ModelInputs
@@ -21,9 +25,10 @@ from repro.experiments.common import (
     ExperimentResult,
     get_database,
     make_model,
+    run_declarative,
 )
 
-__all__ = ["run", "measure_invocation"]
+__all__ = ["run", "specs", "render", "measure_invocation"]
 
 
 def measure_invocation(db, rm_kind: str) -> Tuple[int, int]:
@@ -43,8 +48,14 @@ def measure_invocation(db, rm_kind: str) -> Tuple[int, int]:
     return decision.local_evaluations, decision.dp_operations
 
 
-def run(cfg: ExperimentConfig | None = None) -> ExperimentResult:
-    cfg = (cfg or ExperimentConfig()).effective()
+def specs(cfg: ExperimentConfig) -> List[RunSpec]:
+    del cfg  # invocation counting: no simulation runs
+    return []
+
+
+def render(cfg: ExperimentConfig, results: ResultSet) -> ExperimentResult:
+    del results
+    cfg = cfg.effective()
     cost = RMCostModel()
     interval = 100_000_000
 
@@ -92,6 +103,12 @@ def run(cfg: ExperimentConfig | None = None) -> ExperimentResult:
         notes=notes,
         data=data,
     )
+
+
+def run(
+    cfg: ExperimentConfig | None = None, n_workers: int | None = None
+) -> ExperimentResult:
+    return run_declarative(specs, render, cfg, n_workers)
 
 
 if __name__ == "__main__":

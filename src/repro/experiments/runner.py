@@ -1,15 +1,25 @@
-"""Experiment registry and batch runner."""
+"""Experiment registry and the merged-campaign batch runner.
+
+``run_all`` does not run experiments one after another: it collects every
+module's declarative plan into **one** campaign, dedupes it (the Idle
+baselines and RM3/Model3 runs Fig. 6 and Fig. 9 share collapse to single
+specs), executes each unique run exactly once — optionally across a
+process pool — and only then renders every artefact from the shared
+results.
+"""
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List
+from types import ModuleType
+from typing import Dict, List, Optional
 
+from repro.campaign import Campaign, ResultSet
 from repro.experiments.common import ExperimentConfig, ExperimentResult
 
-__all__ = ["EXPERIMENTS", "run_experiment", "run_all"]
+__all__ = ["EXPERIMENTS", "run_experiment", "run_all", "plan_all", "render_all"]
 
 
-def _registry() -> Dict[str, Callable[[ExperimentConfig], ExperimentResult]]:
+def _registry() -> Dict[str, ModuleType]:
     from repro.experiments import (
         ext_alpha,
         ext_sensitivity,
@@ -25,30 +35,54 @@ def _registry() -> Dict[str, Callable[[ExperimentConfig], ExperimentResult]]:
     )
 
     return {
-        "table1": table1_config.run,
-        "table2": table2_categories.run,
-        "fig1": fig1_tradeoffs.run,
-        "fig2": fig2_twocore.run,
-        "fig6": fig6_energy.run,
-        "fig7": fig7_qos.run,
-        "fig8": fig8_violation_dist.run,
-        "fig9": fig9_model_effect.run,
-        "overheads": overheads_table.run,
-        "ext-sensitivity": ext_sensitivity.run,
-        "ext-alpha": ext_alpha.run,
+        "table1": table1_config,
+        "table2": table2_categories,
+        "fig1": fig1_tradeoffs,
+        "fig2": fig2_twocore,
+        "fig6": fig6_energy,
+        "fig7": fig7_qos,
+        "fig8": fig8_violation_dist,
+        "fig9": fig9_model_effect,
+        "overheads": overheads_table,
+        "ext-sensitivity": ext_sensitivity,
+        "ext-alpha": ext_alpha,
     }
 
 
 EXPERIMENTS = tuple(_registry().keys())
 
 
-def run_experiment(name: str, cfg: ExperimentConfig | None = None) -> ExperimentResult:
+def run_experiment(
+    name: str,
+    cfg: ExperimentConfig | None = None,
+    n_workers: Optional[int] = None,
+) -> ExperimentResult:
     registry = _registry()
     if name not in registry:
         raise ValueError(f"unknown experiment {name!r}; options: {sorted(registry)}")
-    return registry[name](cfg or ExperimentConfig())
+    return registry[name].run(cfg, n_workers=n_workers)
 
 
-def run_all(cfg: ExperimentConfig | None = None) -> List[ExperimentResult]:
-    cfg = cfg or ExperimentConfig()
-    return [run_experiment(name, cfg) for name in EXPERIMENTS]
+def plan_all(cfg: ExperimentConfig | None = None) -> Campaign:
+    """The merged, deduped run matrix behind every experiment."""
+    cfg = (cfg or ExperimentConfig()).effective()
+    campaign = Campaign()
+    for module in _registry().values():
+        campaign.add(module.specs(cfg))
+    return campaign
+
+
+def render_all(
+    cfg: ExperimentConfig | None, results: ResultSet
+) -> List[ExperimentResult]:
+    """Render every artefact from one campaign's results."""
+    cfg = (cfg or ExperimentConfig()).effective()
+    return [module.render(cfg, results) for module in _registry().values()]
+
+
+def run_all(
+    cfg: ExperimentConfig | None = None, n_workers: Optional[int] = None
+) -> List[ExperimentResult]:
+    """Simulate one merged campaign, then render every artefact."""
+    cfg = (cfg or ExperimentConfig()).effective()
+    return render_all(cfg, plan_all(cfg).run(n_workers=n_workers))

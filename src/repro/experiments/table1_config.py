@@ -1,19 +1,32 @@
 """Table I: the baseline configuration.
 
 Regenerates the paper's configuration table from :mod:`repro.config` so any
-drift between documentation and code is impossible.
+drift between documentation and code is impossible.  Entirely static — its
+campaign plan is empty.
 """
 
 from __future__ import annotations
 
+from typing import List
+
+from repro.campaign import ResultSet, RunSpec
 from repro.config import CORE_PARAMS, CoreSize, default_system
-from repro.experiments.common import ExperimentConfig, ExperimentResult
+from repro.experiments.common import (
+    ExperimentConfig,
+    ExperimentResult,
+    run_declarative,
+)
 
-__all__ = ["run"]
+__all__ = ["run", "specs", "render"]
 
 
-def run(cfg: ExperimentConfig | None = None) -> ExperimentResult:
-    del cfg  # configuration-independent
+def specs(cfg: ExperimentConfig) -> List[RunSpec]:
+    del cfg  # static: no simulation runs
+    return []
+
+
+def render(cfg: ExperimentConfig, results: ResultSet) -> ExperimentResult:
+    del cfg, results  # configuration-independent
     system = default_system(4)
     rows = []
     for size in reversed(CoreSize.all()):  # L, M, S as in the paper
@@ -67,6 +80,12 @@ def run(cfg: ExperimentConfig | None = None) -> ExperimentResult:
         rows=rows,
         data={"system": system},
     )
+
+
+def run(
+    cfg: ExperimentConfig | None = None, n_workers: int | None = None
+) -> ExperimentResult:
+    return run_declarative(specs, render, cfg, n_workers)
 
 
 if __name__ == "__main__":

@@ -4,20 +4,36 @@ Classifies the calibrated suite with the Section IV-C rules and compares
 against the paper's published table — the reproduction is exact by
 construction (the suite is calibrated to it), and this experiment proves it
 from the measured database statistics, not the calibration intent.
+
+Analytic classification over the database — its campaign plan is empty.
 """
 
 from __future__ import annotations
 
+from typing import List
+
+from repro.campaign import ResultSet, RunSpec
 from repro.config import CoreSize
-from repro.experiments.common import ExperimentConfig, ExperimentResult, get_database
+from repro.experiments.common import (
+    ExperimentConfig,
+    ExperimentResult,
+    get_database,
+    run_declarative,
+)
 from repro.workloads.categories import classify_suite
 from repro.workloads.suite import TABLE2_CATEGORIES
 
-__all__ = ["run"]
+__all__ = ["run", "specs", "render"]
 
 
-def run(cfg: ExperimentConfig | None = None) -> ExperimentResult:
-    cfg = (cfg or ExperimentConfig()).effective()
+def specs(cfg: ExperimentConfig) -> List[RunSpec]:
+    del cfg  # analytic: no simulation runs
+    return []
+
+
+def render(cfg: ExperimentConfig, results: ResultSet) -> ExperimentResult:
+    del results
+    cfg = cfg.effective()
     db = get_database(4, cfg.seed)
     cats = classify_suite(db)
 
@@ -73,6 +89,12 @@ def run(cfg: ExperimentConfig | None = None) -> ExperimentResult:
         notes=notes,
         data={"categories": cats, "mismatches": mismatches},
     )
+
+
+def run(
+    cfg: ExperimentConfig | None = None, n_workers: int | None = None
+) -> ExperimentResult:
+    return run_declarative(specs, render, cfg, n_workers)
 
 
 if __name__ == "__main__":

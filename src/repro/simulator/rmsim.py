@@ -21,7 +21,7 @@ until every core reaches it (Section IV-D1).
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import List, Optional, Sequence
 
 from repro.cache.partition import RepartitionTransient
@@ -55,7 +55,7 @@ class _CoreRun:
     stall_s: float = 0.0
     interval_elapsed_s: float = 0.0
     total_instr: float = 0.0
-    energy: EnergyBreakdown = None  # type: ignore[assignment]
+    energy: EnergyBreakdown = field(default_factory=EnergyBreakdown)
     finished: bool = False
     # cached rates for the current (record, setting)
     tpi_s: float = 0.0
@@ -161,7 +161,6 @@ class MulticoreRMSimulator:
                 interval=0,
                 record=self.db.record_for_interval(name, 0),
                 setting=baseline,
-                energy=EnergyBreakdown(),
             )
             run.refresh_rates()
             cores.append(run)

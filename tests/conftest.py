@@ -15,7 +15,7 @@ from repro.database.builder import SimDatabase, build_database
 from repro.testing import make_phase, mini_suite, small_scale
 from repro.trace.generator import PhaseTraceGenerator
 from repro.trace.reuse import cliff_profile, small_ws_profile, streaming_profile
-from repro.trace.spec import uniform_ipc
+from repro.trace.spec import PhaseSpec, uniform_ipc
 
 
 @pytest.fixture(scope="session")

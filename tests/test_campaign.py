@@ -1,0 +1,289 @@
+"""Differential tests: the campaign engine vs. the serial reference path.
+
+The engine must be bit-identical to calling the simulator directly
+(``run_workload``) for every spec, for any worker count, and across the
+result store (memo and disk) — these tests are the contract that lets
+every experiment plan through one shared, parallel, cached campaign.
+Mirrors the ``test_replay_engine.py`` pattern from the replay substrate.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.campaign import (
+    Campaign,
+    RunSpec,
+    clear_result_memo,
+    execute_spec,
+    get_database,
+    resolve_campaign_workers,
+    result_from_json,
+    result_to_json,
+    run_campaign,
+)
+from repro.campaign import database as campaign_database
+from repro.campaign import executor as campaign_executor
+from repro.campaign.results import memo_size
+from repro.config import default_system
+from repro.database.builder import SimDatabase
+from repro.experiments.common import run_workload
+
+SEED = 2020
+
+
+def _spec(**kw) -> RunSpec:
+    base = dict(
+        seed=SEED, n_cores=4, rm_kind="rm3", model="Model3",
+        apps=("mcf", "omnetpp", "libquantum", "xalancbmk"),
+        horizon_intervals=4,
+    )
+    base.update(kw)
+    return RunSpec(**base)
+
+
+#: A small matrix covering idle/managers, models, overheads and alpha.
+SPECS = [
+    _spec(rm_kind="idle", model=None),
+    _spec(rm_kind="rm1"),
+    _spec(rm_kind="rm2", model="Model1"),
+    _spec(),
+    _spec(rm_kind="rm3", model="Perfect", charge_overheads=False),
+    _spec(apps=("gamess", "sjeng", "perlbench", "dealII")),
+]
+
+
+@pytest.fixture(autouse=True)
+def _fresh_memo():
+    """Every test starts from a cold result memo (the disk cache is only
+    reachable when a test opts in via REPRO_RESULT_CACHE)."""
+    clear_result_memo()
+    yield
+    clear_result_memo()
+
+
+class TestRunSpec:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            _spec(rm_kind="rm9")
+        with pytest.raises(ValueError):
+            _spec(rm_kind="idle", model="Model3")
+        with pytest.raises(ValueError):
+            _spec(model="Model9")
+        with pytest.raises(ValueError):
+            _spec(apps=("mcf",))  # 1 app for 4 cores
+        with pytest.raises(ValueError):
+            _spec(alpha=-1.0)
+        with pytest.raises(ValueError):
+            _spec(rm_kind="idle", model=None, alpha=1.2)  # alpha ignored
+        with pytest.raises(ValueError):
+            _spec(horizon_intervals=0)
+
+    def test_fingerprint_stable_and_content_sensitive(self):
+        assert _spec().fingerprint == _spec().fingerprint
+        base = _spec().fingerprint
+        assert _spec(rm_kind="rm2", model="Model3").fingerprint != base
+        assert _spec(model="Model2").fingerprint != base
+        assert _spec(horizon_intervals=5).fingerprint != base
+        assert _spec(charge_overheads=False).fingerprint != base
+        assert _spec(alpha=1.1).fingerprint != base
+        assert _spec(seed=7).fingerprint != base
+
+    def test_alpha_one_is_canonicalised(self):
+        assert _spec(alpha=1.0).alpha is None
+        assert _spec(alpha=1.0).fingerprint == _spec().fingerprint
+        # ... which also makes explicit-1.0 legal on the idle baseline
+        assert _spec(rm_kind="idle", model=None, alpha=1.0).alpha is None
+
+    def test_dedupe(self):
+        campaign = Campaign(SPECS + SPECS)
+        assert len(campaign) == len(SPECS)
+        assert campaign.unique_specs == SPECS
+
+
+class TestResolveWorkers:
+    def test_explicit_wins(self, monkeypatch):
+        monkeypatch.setenv(campaign_executor.WORKERS_ENV, "7")
+        assert resolve_campaign_workers(3, 100) == 3
+
+    def test_env_fallback(self, monkeypatch):
+        monkeypatch.setenv(campaign_executor.WORKERS_ENV, "5")
+        assert resolve_campaign_workers(None, 100) == 5
+
+    def test_env_invalid(self, monkeypatch):
+        monkeypatch.setenv(campaign_executor.WORKERS_ENV, "many")
+        with pytest.raises(ValueError):
+            resolve_campaign_workers(None, 100)
+
+    def test_auto_serial_for_small_campaigns(self, monkeypatch):
+        monkeypatch.delenv(campaign_executor.WORKERS_ENV, raising=False)
+        assert resolve_campaign_workers(None, 2) == 1
+
+    def test_clamped_to_pending(self):
+        assert resolve_campaign_workers(16, 3) == 3
+        assert resolve_campaign_workers(4, 0) == 1
+
+
+class TestDatabaseRebinding:
+    def _fake_build(self, calls):
+        def build(suite, system, seed=2020, **kw):
+            calls.append((system.n_cores, seed))
+            return SimDatabase(system=system, apps={}, records={})
+
+        return build
+
+    def test_any_core_count_reuses_a_seed_build(self, monkeypatch, tmp_path):
+        calls = []
+        monkeypatch.setattr(
+            campaign_database, "build_database", self._fake_build(calls)
+        )
+        # rebindings persist to the disk cache; point it away from the
+        # real one so the fake (empty) databases cannot pollute it
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        campaign_database.clear_database_cache()
+        try:
+            db8 = get_database(8, seed=31)
+            db4 = get_database(4, seed=31)  # must rebind, not rebuild
+            db2 = get_database(2, seed=31)
+            assert calls == [(8, 31)]
+            assert db4.records is db8.records and db2.records is db8.records
+            assert db4.system.n_cores == 4 and db2.system.n_cores == 2
+            # a different seed is a genuinely new build
+            get_database(4, seed=32)
+            assert calls == [(8, 31), (4, 32)]
+        finally:
+            campaign_database.clear_database_cache()
+
+
+class TestResultJson:
+    def test_roundtrip_is_exact(self, full_db):
+        db = get_database(4, SEED)
+        for spec in (SPECS[0], SPECS[3], SPECS[4]):
+            result = run_workload(
+                db, spec.rm_kind, spec.model, spec.apps,
+                horizon_intervals=spec.horizon_intervals,
+                charge_overheads=spec.charge_overheads,
+            )
+            assert result_from_json(result_to_json(result)) == result
+
+    def test_roundtrip_with_history(self, full_db):
+        from repro.core.managers import make_rm
+        from repro.core.perf_models import Model3
+        from repro.simulator.rmsim import MulticoreRMSimulator
+
+        db = get_database(4, SEED)
+        sim = MulticoreRMSimulator(
+            db, make_rm("rm3", db.system, Model3()), collect_history=True
+        )
+        result = sim.run(list(SPECS[3].apps), horizon_intervals=3)
+        assert result.history  # non-trivial history exercised
+        assert result_from_json(result_to_json(result)) == result
+
+
+class TestEngineDifferential:
+    """The acceptance contract: engine == serial reference, bit for bit."""
+
+    def test_execute_matches_serial_reference(self, full_db):
+        db = get_database(4, SEED)
+        for spec in SPECS:
+            want = run_workload(
+                db, spec.rm_kind, spec.model, spec.apps,
+                horizon_intervals=spec.horizon_intervals,
+                charge_overheads=spec.charge_overheads,
+            )
+            assert execute_spec(spec) == want, spec.label()
+
+    def test_alpha_path_matches_inline_construction(self, full_db):
+        from dataclasses import replace
+
+        from repro.core.managers import make_rm
+        from repro.core.perf_models import Model3
+        from repro.core.qos import QoSPolicy
+        from repro.simulator.rmsim import MulticoreRMSimulator
+
+        db = get_database(4, SEED)
+        spec = _spec(alpha=1.1)
+        system = replace(db.system, qos_alpha=1.1)
+        rm = make_rm("rm3", system, Model3(), qos=QoSPolicy(1.1))
+        want = MulticoreRMSimulator(db, rm).run(
+            list(spec.apps), horizon_intervals=spec.horizon_intervals
+        )
+        assert execute_spec(spec) == want
+
+    @pytest.mark.parametrize("n_workers", [2, 3])
+    def test_parallel_bit_identical_to_serial(self, full_db, n_workers):
+        serial = run_campaign(SPECS, n_workers=1)
+        clear_result_memo()
+        parallel = run_campaign(SPECS, n_workers=n_workers)
+        assert parallel.stats.workers == n_workers
+        for spec in SPECS:
+            assert parallel[spec] == serial[spec], spec.label()
+
+
+class TestResultStore:
+    def test_warm_memo_skips_simulation(self, full_db, monkeypatch):
+        first = run_campaign(SPECS[:3])
+
+        def boom(spec):
+            raise AssertionError(f"simulated a warm spec: {spec.label()}")
+
+        monkeypatch.setattr(campaign_executor, "_simulate", boom)
+        second = run_campaign(SPECS[:3])
+        assert second.stats.simulated == 0
+        assert second.stats.cached == 3
+        for spec in SPECS[:3]:
+            assert second[spec] == first[spec]
+
+    def test_disk_cache_survives_memo_clear(self, full_db, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_RESULT_CACHE", str(tmp_path))
+        first = run_campaign(SPECS[:3])
+        assert len(list(tmp_path.glob("*.json"))) == 3
+
+        clear_result_memo()
+        assert memo_size() == 0
+        monkeypatch.setattr(
+            campaign_executor, "_simulate",
+            lambda spec: (_ for _ in ()).throw(AssertionError("simulated")),
+        )
+        second = run_campaign(SPECS[:3])
+        assert second.stats.simulated == 0
+        for spec in SPECS[:3]:
+            assert second[spec] == first[spec]
+
+    def test_corrupt_disk_entry_is_resimulated(self, full_db, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_RESULT_CACHE", str(tmp_path))
+        spec = SPECS[0]
+        first = run_campaign([spec])
+        (tmp_path / f"{spec.fingerprint}.json").write_text("{not json")
+        clear_result_memo()
+        second = run_campaign([spec])
+        assert second.stats.simulated == 1
+        assert second[spec] == first[spec]
+
+    def test_missing_spec_raises(self, full_db):
+        results = run_campaign(SPECS[:1])
+        with pytest.raises(KeyError):
+            results[SPECS[1]]
+
+
+class TestMergedPlan:
+    def test_run_all_plan_dedupes_across_experiments(self):
+        from repro.experiments.common import ExperimentConfig
+        from repro.experiments.runner import _registry, plan_all
+
+        cfg = ExperimentConfig(quick=True)
+        campaign = plan_all(cfg)
+        total = sum(len(m.specs(cfg.effective())) for m in _registry().values())
+        assert len(campaign) < total  # fig6/fig9 share idle + RM3/Model3 runs
+        # every unique (db, rm, model, apps, alpha, horizon, overheads)
+        # combination appears exactly once
+        fps = [s.fingerprint for s in campaign.unique_specs]
+        assert len(fps) == len(set(fps))
+
+
+def test_fingerprint_covers_database_identity():
+    """Same run on a different core count or seed is a different result."""
+    a = RunSpec(seed=1, n_cores=2, rm_kind="idle", model=None, apps=("x", "y"))
+    b = RunSpec(seed=2, n_cores=2, rm_kind="idle", model=None, apps=("x", "y"))
+    assert a.fingerprint != b.fingerprint
+    assert default_system(2).qos_alpha == 1.0  # normalisation premise

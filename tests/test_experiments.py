@@ -128,3 +128,21 @@ class TestCLI:
 
         args = build_parser().parse_args(["fig6", "--quick", "--cores", "4"])
         assert args.quick and args.cores == [4]
+        assert args.workers is None and args.csv_dir is None
+
+    def test_parser_campaign_flags(self):
+        from repro.cli import build_parser
+
+        args = build_parser().parse_args(
+            ["all", "--workers", "3", "--csv-dir", "out"]
+        )
+        assert args.workers == 3 and str(args.csv_dir) == "out"
+
+    def test_csv_dir_written(self, tmp_path, capsys):
+        from repro.cli import main
+
+        out = tmp_path / "tables"
+        assert main(["table1", "--csv-dir", str(out)]) == 0
+        text = (out / "table1.csv").read_text()
+        assert text.splitlines()[0].startswith("component")
+        capsys.readouterr()

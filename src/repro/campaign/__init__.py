@@ -13,7 +13,9 @@ that set explicit:
   (``REPRO_CAMPAIGN_WORKERS``), bit-identically for any worker count,
 * :mod:`~repro.campaign.results` — the in-memory result memo plus the
   optional on-disk store (``REPRO_RESULT_CACHE``) that lets repeated
-  invocations (CLI, benchmarks, tests) skip simulation entirely,
+  invocations (CLI, benchmarks, tests) skip simulation entirely, with an
+  LRU size cap (``REPRO_RESULT_CACHE_MAX_MB``) enforced after every
+  campaign and via ``python -m repro cache --prune``,
 * :func:`~repro.campaign.database.get_database` — the shared database
   cache, rebinding one build per seed to any requested core count.
 """
@@ -27,7 +29,10 @@ from repro.campaign.executor import (
     run_campaign,
 )
 from repro.campaign.results import (
+    cache_stats,
     clear_result_memo,
+    prune_result_cache,
+    result_cache_dir,
     result_from_json,
     result_to_json,
 )
@@ -37,11 +42,14 @@ __all__ = [
     "Campaign",
     "ResultSet",
     "RunSpec",
+    "cache_stats",
     "clear_database_cache",
     "clear_result_memo",
     "execute_spec",
     "get_database",
+    "prune_result_cache",
     "resolve_campaign_workers",
+    "result_cache_dir",
     "result_from_json",
     "result_to_json",
     "run_campaign",

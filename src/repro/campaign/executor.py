@@ -28,7 +28,13 @@ from dataclasses import replace
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.campaign.database import get_database
-from repro.campaign.results import cached_result, memoize_result, store_result
+from repro.campaign.results import (
+    cached_result,
+    memoize_result,
+    prune_result_cache,
+    result_cache_max_mb,
+    store_result,
+)
 from repro.campaign.spec import MODEL_NAMES, RunSpec
 from repro.core.managers import ResourceManager, make_rm
 from repro.core.qos import QoSPolicy
@@ -199,6 +205,10 @@ class Campaign:
         Bit-identical for any ``n_workers`` (each run is independent and
         deterministic in its spec; only scheduling changes).
         """
+        # Resolve the store cap up-front: a malformed
+        # REPRO_RESULT_CACHE_MAX_MB must fail before hours of simulation,
+        # not at the post-campaign prune.
+        cache_cap_mb = result_cache_max_mb()
         specs = self.unique_specs
         results: Dict[str, SimResult] = {}
         pending: List[RunSpec] = []
@@ -235,6 +245,13 @@ class Campaign:
         else:
             for spec in pending:
                 results[spec.fingerprint] = execute_spec(spec)
+
+        if pending and cache_cap_mb is not None:
+            # Long campaigns must not grow the on-disk store without
+            # bound: enforce the LRU size cap once per campaign (the
+            # results just produced carry the freshest mtimes, so they
+            # are the last to go).
+            prune_result_cache(cache_cap_mb)
 
         stats = CampaignStats(
             planned=self._planned,

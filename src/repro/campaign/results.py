@@ -11,6 +11,13 @@ that across processes via one JSON file per result.
 JSON keeps the store transparent and diff-able; Python's ``repr``-based
 float serialisation round-trips exactly, so a cache hit is bit-identical
 to the simulation that produced it (covered by the differential tests).
+
+The on-disk store is garbage-collected: ``REPRO_RESULT_CACHE_MAX_MB``
+caps its size, with least-recently-*used* files evicted first (disk hits
+bump mtime, so a long campaign's working set survives while abandoned
+fingerprints — old seeds, stale result versions — age out).  The cap is
+enforced after every campaign (:meth:`repro.campaign.Campaign.run`) and
+on demand via ``python -m repro cache --prune``.
 """
 
 from __future__ import annotations
@@ -25,11 +32,14 @@ from repro.power.energy import EnergyBreakdown
 from repro.simulator.metrics import SettingChange, SimResult
 
 __all__ = [
+    "cache_stats",
     "cached_result",
     "clear_result_memo",
     "memo_size",
     "memoize_result",
+    "prune_result_cache",
     "result_cache_dir",
+    "result_cache_max_mb",
     "result_from_json",
     "result_to_json",
     "store_result",
@@ -37,6 +47,10 @@ __all__ = [
 
 #: Environment variable naming the on-disk result-cache directory.
 CACHE_ENV = "REPRO_RESULT_CACHE"
+
+#: Environment variable capping the on-disk store size in MiB (unset or
+#: non-positive = unbounded).
+CACHE_MAX_MB_ENV = "REPRO_RESULT_CACHE_MAX_MB"
 
 _MEMO: Dict[str, SimResult] = {}
 
@@ -123,10 +137,18 @@ def result_cache_dir() -> Optional[Path]:
 
 def cached_result(fingerprint: str) -> Optional[SimResult]:
     """Memo hit, then disk hit (promoted to the memo), else None."""
+    root = result_cache_dir()
     hit = _MEMO.get(fingerprint)
     if hit is not None:
+        if root is not None:
+            try:
+                # Memo hits must keep the on-disk twin LRU-hot too, or a
+                # capped store evicts results a long-lived process is
+                # actively using through the memo.
+                os.utime(root / f"{fingerprint}.json")
+            except OSError:
+                pass
         return hit
-    root = result_cache_dir()
     if root is None:
         return None
     file = root / f"{fingerprint}.json"
@@ -138,6 +160,11 @@ def cached_result(fingerprint: str) -> Optional[SimResult]:
         result = result_from_json(text)
     except (KeyError, TypeError, ValueError, json.JSONDecodeError):
         return None
+    try:
+        # LRU bump: eviction is by mtime, so a hit marks the file used.
+        os.utime(file)
+    except OSError:
+        pass
     _MEMO[fingerprint] = result
     return result
 
@@ -173,3 +200,76 @@ def clear_result_memo() -> None:
 
 def memo_size() -> int:
     return len(_MEMO)
+
+
+def result_cache_max_mb() -> Optional[float]:
+    """The configured size cap in MiB, or None when unbounded."""
+    raw = os.environ.get(CACHE_MAX_MB_ENV)
+    if not raw:
+        return None
+    try:
+        cap = float(raw)
+    except ValueError:
+        raise ValueError(
+            f"{CACHE_MAX_MB_ENV} must be a number, got {raw!r}"
+        ) from None
+    return cap if cap > 0 else None
+
+
+def cache_stats() -> Dict[str, float]:
+    """On-disk store shape: file count and total size in bytes/MiB."""
+    root = result_cache_dir()
+    files = 0
+    size = 0
+    if root is not None and root.is_dir():
+        for file in root.glob("*.json"):
+            try:
+                size += file.stat().st_size
+            except OSError:
+                continue
+            files += 1
+    return {"files": files, "bytes": size, "mb": size / (1024 * 1024)}
+
+
+def prune_result_cache(max_mb: Optional[float] = None) -> Dict[str, float]:
+    """Evict least-recently-used results until the store fits ``max_mb``.
+
+    ``max_mb`` defaults to :data:`CACHE_MAX_MB_ENV`; with neither set —
+    or a non-positive cap, which means *unbounded* exactly as the env
+    variable documents — or no cache directory, this is a no-op.
+    Eviction is by ascending mtime — :func:`cached_result` bumps mtime
+    on every hit (memo or disk), making this LRU rather than FIFO.
+    Returns eviction accounting (files/bytes removed, files/bytes kept).
+    """
+    if max_mb is None:
+        max_mb = result_cache_max_mb()
+    elif max_mb <= 0:
+        max_mb = None
+    removed = {"removed_files": 0, "removed_bytes": 0}
+    root = result_cache_dir()
+    if root is None or max_mb is None or not root.is_dir():
+        stats = cache_stats()
+        return {**removed, "kept_files": stats["files"], "kept_bytes": stats["bytes"]}
+    entries = []
+    total = 0
+    for file in root.glob("*.json"):
+        try:
+            stat = file.stat()
+        except OSError:
+            continue
+        entries.append((stat.st_mtime, stat.st_size, file))
+        total += stat.st_size
+    entries.sort()
+    budget = max_mb * 1024 * 1024
+    for _mtime, size, file in entries:
+        if total <= budget:
+            break
+        try:
+            file.unlink()
+        except OSError:
+            continue
+        total -= size
+        removed["removed_files"] += 1
+        removed["removed_bytes"] += size
+    kept = len(entries) - removed["removed_files"]
+    return {**removed, "kept_files": kept, "kept_bytes": total}

@@ -23,7 +23,9 @@ __all__ = ["RunSpec", "RESULT_VERSION", "MODEL_NAMES", "RM_KINDS"]
 
 #: Bump whenever simulator/result semantics change, so stale on-disk
 #: campaign results can never be returned for a new code revision.
-RESULT_VERSION = 1
+#: v2: managers default to the incremental reduction kernel, whose
+#: smaller per-invocation ``dp_operations`` changes charged RM overheads.
+RESULT_VERSION = 2
 
 #: Canonical model and (non-idle) manager names — the single source the
 #: spec validation, the executor and the experiment layer all share.

@@ -9,11 +9,16 @@ Usage::
     python -m repro all --quick --workers 4   # ... across 4 processes
     python -m repro all --quick --csv-dir out # ... persisting CSV tables
     python -m repro fig6 --seed 7 --workloads 3 --cores 4
+    python -m repro ext-scaling --scaling-cores 16 32   # kernel sweep
+    python -m repro cache                  # result-store stats
+    python -m repro cache --prune --max-mb 256   # LRU-evict to 256 MiB
 
 Every experiment plans its simulations through the campaign engine;
 ``all`` merges the plans so shared runs simulate exactly once.  The
 ``--workers`` flag (or ``REPRO_CAMPAIGN_WORKERS``) fans unique runs out
 over a process pool — results are bit-identical for any worker count.
+The ``cache`` subcommand manages the on-disk result store named by
+``REPRO_RESULT_CACHE`` (cap: ``REPRO_RESULT_CACHE_MAX_MB``).
 """
 
 from __future__ import annotations
@@ -46,7 +51,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "experiment",
-        help="experiment name, 'all', or 'list'",
+        help="experiment name, 'all', 'list', or 'cache'",
     )
     parser.add_argument("--quick", action="store_true", help="shrunk quick mode")
     parser.add_argument("--seed", type=int, default=2020)
@@ -59,6 +64,32 @@ def build_parser() -> argparse.ArgumentParser:
         nargs="+",
         default=None,
         help="core counts for the multi-core experiments (default: 4 8)",
+    )
+    parser.add_argument(
+        "--scaling-cores",
+        type=int,
+        nargs="+",
+        default=None,
+        metavar="N",
+        help=(
+            "core counts swept by ext-scaling "
+            "(default: 4 8 16 32, shrunk to 4 16 with --quick)"
+        ),
+    )
+    parser.add_argument(
+        "--prune",
+        action="store_true",
+        help="with 'cache': LRU-evict results down to the size cap",
+    )
+    parser.add_argument(
+        "--max-mb",
+        type=float,
+        default=None,
+        metavar="MB",
+        help=(
+            "with 'cache --prune': size cap override "
+            "(default: REPRO_RESULT_CACHE_MAX_MB)"
+        ),
     )
     parser.add_argument(
         "--workers",
@@ -87,6 +118,38 @@ def _emit(result, csv_dir: Path | None) -> None:
         result.write_csv(csv_dir / f"{result.name}.csv")
 
 
+def _cache_command(prune: bool, max_mb: float | None) -> int:
+    from repro.campaign.results import (
+        CACHE_ENV,
+        cache_stats,
+        prune_result_cache,
+        result_cache_dir,
+        result_cache_max_mb,
+    )
+
+    root = result_cache_dir()
+    if root is None:
+        print(f"no on-disk result cache ({CACHE_ENV} is unset)")
+        return 0
+    if prune:
+        outcome = prune_result_cache(max_mb)
+        print(
+            f"pruned {outcome['removed_files']} results "
+            f"({outcome['removed_bytes'] / 1048576:.1f} MiB); "
+            f"kept {outcome['kept_files']} "
+            f"({outcome['kept_bytes'] / 1048576:.1f} MiB) in {root}"
+        )
+        return 0
+    stats = cache_stats()
+    cap = max_mb if max_mb is not None else result_cache_max_mb()
+    cap_text = f"{cap:.0f} MiB" if cap else "unbounded"
+    print(
+        f"{root}: {stats['files']:.0f} results, {stats['mb']:.1f} MiB "
+        f"(cap: {cap_text})"
+    )
+    return 0
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     if args.experiment == "list":
@@ -94,12 +157,17 @@ def main(argv: Sequence[str] | None = None) -> int:
         for name in EXPERIMENTS:
             print(f"  {name}")
         return 0
+    if args.experiment == "cache":
+        return _cache_command(args.prune, args.max_mb)
 
     cfg = ExperimentConfig(
         seed=args.seed,
         quick=args.quick,
         workloads_per_scenario=args.workloads,
         core_counts=tuple(args.cores) if args.cores else (4, 8),
+        scaling_core_counts=(
+            tuple(args.scaling_cores) if args.scaling_cores else None
+        ),
     )
     if args.csv_dir is not None:
         args.csv_dir.mkdir(parents=True, exist_ok=True)

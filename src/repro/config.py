@@ -25,6 +25,7 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass, field
 from enum import IntEnum
+from functools import lru_cache
 from typing import Mapping, Sequence, Tuple
 
 __all__ = [
@@ -122,8 +123,13 @@ class DVFSConfig:
     transition_time_s: float = 15e-6
     transition_energy_j: float = 3e-6
 
+    @lru_cache(maxsize=None)
     def frequencies_ghz(self) -> Tuple[float, ...]:
-        """The discrete ladder, ascending, inclusive of both endpoints."""
+        """The discrete ladder, ascending, inclusive of both endpoints.
+
+        Memoised on the (frozen, hashable) config — the optimiser hot
+        paths rebuild this ladder on every invocation otherwise.
+        """
         n = int(round((self.f_max_ghz - self.f_min_ghz) / self.f_step_ghz)) + 1
         return tuple(round(self.f_min_ghz + i * self.f_step_ghz, 6) for i in range(n))
 
@@ -145,6 +151,7 @@ class DVFSConfig:
     def v_base(self) -> float:
         return self.voltage(self.f_base_ghz)
 
+    @lru_cache(maxsize=None)
     def index_of(self, f_ghz: float) -> int:
         """Position of ``f_ghz`` on the ladder (exact match required)."""
         ladder = self.frequencies_ghz()

@@ -26,8 +26,16 @@ from repro.core.energy_model import OnlineEnergyModel
 from repro.core.qos import QoSPolicy, violation_magnitude
 from repro.core.local_opt import LocalOptResult, RMCapabilities, optimize_local
 from repro.core.energy_curve import EnergyCurve
-from repro.core.global_opt import GlobalOptResult, partition_ways
-from repro.core.managers import RM1, RM2, RM3, IdleRM, ResourceManager, make_rm
+from repro.core.global_opt import GlobalOptResult, ReductionTree, partition_ways
+from repro.core.managers import (
+    REDUCTION_MODES,
+    RM1,
+    RM2,
+    RM3,
+    IdleRM,
+    ResourceManager,
+    make_rm,
+)
 from repro.core.overheads import RMCostModel
 
 __all__ = [
@@ -45,6 +53,8 @@ __all__ = [
     "optimize_local",
     "EnergyCurve",
     "GlobalOptResult",
+    "ReductionTree",
+    "REDUCTION_MODES",
     "partition_ways",
     "ResourceManager",
     "IdleRM",

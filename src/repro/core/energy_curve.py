@@ -41,14 +41,28 @@ class EnergyCurve:
             raise ValueError("ways must be contiguous ascending integers")
         object.__setattr__(self, "ways", ways)
         object.__setattr__(self, "energy", energy)
+        # Domain bounds as plain ints: the optimiser hot paths read these
+        # constantly, so they are materialised once instead of indexing
+        # the array per access.
+        object.__setattr__(self, "w_min", int(ways[0]))
+        object.__setattr__(self, "w_max", int(ways[-1]))
 
-    @property
-    def w_min(self) -> int:
-        return int(self.ways[0])
+    @classmethod
+    def from_reduction(cls, w_min: int, energy: np.ndarray) -> "EnergyCurve":
+        """Construct without re-validating (combine-kernel fast path).
 
-    @property
-    def w_max(self) -> int:
-        return int(self.ways[-1])
+        The curve-combine kernel produces, by construction, a contiguous
+        float array starting at ``w_min``; validating that per combine
+        would dominate the incremental update's cost.
+        """
+        curve = object.__new__(cls)
+        object.__setattr__(
+            curve, "ways", np.arange(w_min, w_min + energy.size)
+        )
+        object.__setattr__(curve, "energy", energy)
+        object.__setattr__(curve, "w_min", w_min)
+        object.__setattr__(curve, "w_max", w_min + energy.size - 1)
+        return curve
 
     def energy_at(self, ways: int) -> float:
         if not self.w_min <= ways <= self.w_max:

@@ -38,6 +38,32 @@ class OnlineEnergyModel:
 
     power: PowerModel
 
+    def _system_constants(self, system: SystemConfig):
+        """(freqs, volts, size_factors, static_power) for one system.
+
+        All four depend only on the (immutable) system and power model,
+        yet sit on the per-invocation path; they are computed once per
+        system this model instance sees.  Keyed by identity with the
+        system kept referenced, so a key can never be recycled.
+        """
+        cache = self.__dict__.setdefault("_constants_cache", {})
+        hit = cache.get(id(system))
+        if hit is not None:
+            return hit[1]
+        sizes = CoreSize.all()
+        freqs = np.array(system.candidate_frequencies())
+        volts = np.array([system.dvfs.voltage(f) for f in freqs])
+        size_factors = np.array(
+            [system.power.dyn_size_factor[c] for c in sizes], dtype=float
+        )
+        static_power = np.empty((len(sizes), freqs.size))
+        for c in sizes:
+            for fi in range(freqs.size):
+                static_power[int(c), fi] = self.power.static_power_w(c, volts[fi])
+        data = (freqs, volts, size_factors, static_power)
+        cache[id(system)] = (system, data)
+        return data
+
     def predict_energy_grid(
         self,
         inputs: ModelInputs,
@@ -57,8 +83,7 @@ class OnlineEnergyModel:
         """
         counters = inputs.counters
         sizes = CoreSize.all()
-        freqs = np.array(system.candidate_frequencies())
-        volts = np.array([system.dvfs.voltage(f) for f in freqs])
+        freqs, volts, size_factors, static_power = self._system_constants(system)
         n_sizes, n_freqs, n_ways = time_grid.shape
         if n_sizes != len(sizes) or n_freqs != freqs.size:
             raise ValueError("time_grid shape mismatch with system grid")
@@ -67,9 +92,6 @@ class OnlineEnergyModel:
         n = counters.n_instructions
         v_i = system.dvfs.voltage(counters.setting.f_ghz)
         epi_sampled = counters.core_dynamic_j / max(n, 1.0)
-        size_factors = np.array(
-            [system.power.dyn_size_factor[c] for c in sizes], dtype=float
-        )
         f_cur = system.power.dyn_size_factor[counters.setting.core]
         epi = (
             epi_sampled
@@ -79,10 +101,6 @@ class OnlineEnergyModel:
         e_dyn = epi * n
 
         # --- static: offline table x predicted time ----------------------
-        static_power = np.empty((n_sizes, n_freqs))
-        for c in sizes:
-            for fi in range(n_freqs):
-                static_power[int(c), fi] = self.power.static_power_w(c, volts[fi])
         e_static = static_power[:, :, None] * time_grid
 
         # --- memory: Eq. 5 ------------------------------------------------

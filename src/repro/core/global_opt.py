@@ -1,4 +1,4 @@
-"""Global optimisation: recursive pairwise energy-curve reduction.
+"""Global optimisation: the pairwise energy-curve reduction kernel.
 
 Given one energy curve per core, the optimiser finds the allocation
 ``{w_j}`` minimising total predicted energy subject to ``sum w_j = A`` and
@@ -11,18 +11,43 @@ up a binary tree, the root is evaluated at the way budget, and choices are
 back-tracked down.  Complexity is polynomial in the core count
 (O(n * A^2) combine work), the property the paper highlights over a naive
 exponential joint search.
+
+Two entry points share the same combine kernel:
+
+* :func:`partition_ways` — the stateless reference: rebuilds the whole
+  tree for one budget query.  This is what the prior-work framework pays
+  on *every* RM invocation, and it is preserved verbatim as the
+  ``full_rebuild`` accounting mode of the managers.
+* :class:`ReductionTree` — the persistent kernel: the tree survives
+  across invocations, and when one core's curve changes only the
+  O(log n) combines on the leaf-to-root path re-run.  The root curve is
+  never materialised at all — the budget is fixed, so the root is
+  evaluated at the single way count ``A`` with a windowed min instead of
+  a full (min,+) convolution, which removes the single most expensive
+  combine from every update.
+
+Both paths are differentially tested bit-identical in their selected
+allocations and energies (``tests/test_decision_kernel.py``); they differ
+only in the work performed, which is exactly what ``dp_operations``
+charges.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Sequence
+from typing import List, Optional, Sequence
 
 import numpy as np
 
 from repro.core.energy_curve import EnergyCurve
 
-__all__ = ["GlobalOptResult", "combine_pair", "partition_ways"]
+__all__ = [
+    "GlobalOptResult",
+    "ReductionTree",
+    "combine_pair",
+    "combine_pair_reference",
+    "partition_ways",
+]
 
 
 @dataclass(frozen=True)
@@ -37,20 +62,54 @@ class GlobalOptResult:
 class _Node:
     """Reduction-tree node: a combined curve plus back-tracking tables."""
 
-    __slots__ = ("curve", "left", "right", "choice")
+    __slots__ = ("curve", "left", "right", "choice", "w_lo", "parent")
 
-    def __init__(self, curve: EnergyCurve, left=None, right=None, choice=None):
-        self.curve = curve
-        self.left = left
-        self.right = right
-        self.choice = choice  # int[k]: ways given to the left child per W
+    def __init__(self, curve=None, left=None, right=None, choice=None):
+        self.curve: Optional[EnergyCurve] = curve
+        self.left: Optional[_Node] = left
+        self.right: Optional[_Node] = right
+        #: list[int]: ways given to the left child per combined W (a plain
+        #: list so the back-tracking walk stays free of NumPy indexing).
+        self.choice = choice
+        self.w_lo: int = 0  # combined-domain lower bound (= curve.w_min)
+        self.parent: Optional[_Node] = None
 
 
 def combine_pair(a: EnergyCurve, b: EnergyCurve) -> tuple[EnergyCurve, np.ndarray, int]:
     """Reduce two curves; returns (combined, left-choice table, op count).
 
     ``choice[i]`` is the left-child allocation for combined way count
-    ``combined.ways[i]``.
+    ``combined.ways[i]``; ties break toward the smallest left allocation
+    and all-infeasible way counts keep ``a.w_min`` (both matching the
+    scalar reference, so back-tracked settings are bit-identical).
+
+    One (min,+) convolution as a single 2-D broadcast: every pairwise sum
+    lands on a banded (la, la+lb-1) matrix whose column minima are the
+    combined curve.  The band is materialised by the skew trick — the
+    (la, lb) outer-sum rows are laid out with a one-column gap, so
+    re-viewing the buffer with row stride ``width`` shifts row ``ia``
+    right by ``ia`` columns and the off-band positions land on the
+    ``inf`` padding — which avoids a scattered fancy-index assignment.
+    """
+    la, lb = a.energy.size, b.energy.size
+    lo = a.w_min + b.w_min
+    width = la + lb - 1
+    buf = np.empty((la, width + 1))
+    buf[:, lb:] = np.inf
+    np.add(a.energy[:, None], b.energy[None, :], out=buf[:, :lb])
+    sums = buf.reshape(-1)[: la * width].reshape(la, width)
+    idx = sums.argmin(axis=0)
+    best = sums[idx, np.arange(width)]
+    return EnergyCurve.from_reduction(lo, best), a.w_min + idx, la * lb
+
+
+def combine_pair_reference(
+    a: EnergyCurve, b: EnergyCurve
+) -> tuple[EnergyCurve, np.ndarray, int]:
+    """Scalar-loop reference combine (the pre-vectorisation implementation).
+
+    Kept as the differential-testing oracle for :func:`combine_pair`, the
+    same pattern as the replay engine's ``LRUStack`` oracle.
     """
     la, lb = a.energy.size, b.energy.size
     lo = a.w_min + b.w_min
@@ -58,7 +117,6 @@ def combine_pair(a: EnergyCurve, b: EnergyCurve) -> tuple[EnergyCurve, np.ndarra
     width = hi - lo + 1
     best = np.full(width, np.inf)
     choice = np.full(width, a.w_min, dtype=int)
-    # Slide b's curve under each of a's points; vectorised inner loop.
     for ia in range(la):
         wa = a.w_min + ia
         ea = a.energy[ia]
@@ -79,35 +137,183 @@ def combine_pair(a: EnergyCurve, b: EnergyCurve) -> tuple[EnergyCurve, np.ndarra
     return combined, choice, la * lb
 
 
-def _reduce(curves: Sequence[EnergyCurve], ops: List[int]) -> _Node:
-    nodes = [_Node(c) for c in curves]
+def _pair_up(nodes: List[_Node]) -> _Node:
+    """Build the tree structure (no curves combined yet).
+
+    Adjacent nodes pair level by level; an odd node is carried up intact —
+    the exact shape of the original recursive reduction, so combined
+    curves and choice tables are identical node for node.
+    """
     while len(nodes) > 1:
         next_level: List[_Node] = []
         for i in range(0, len(nodes) - 1, 2):
-            combined, choice, n_ops = combine_pair(
-                nodes[i].curve, nodes[i + 1].curve
-            )
-            ops[0] += n_ops
-            next_level.append(_Node(combined, nodes[i], nodes[i + 1], choice))
+            parent = _Node(left=nodes[i], right=nodes[i + 1])
+            nodes[i].parent = parent
+            nodes[i + 1].parent = parent
+            next_level.append(parent)
         if len(nodes) % 2:
             next_level.append(nodes[-1])
         nodes = next_level
     return nodes[0]
 
 
+def _combine_node(node: _Node) -> int:
+    node.curve, choice, ops = combine_pair(node.left.curve, node.right.curve)
+    node.choice = choice.tolist()
+    node.w_lo = node.curve.w_min
+    return ops
+
+
+def _internal_bottom_up(root: _Node) -> List[_Node]:
+    """Internal nodes ordered children-before-parents (post-order)."""
+    out: List[_Node] = []
+    stack = [root]
+    while stack:
+        node = stack.pop()
+        if node.left is not None:
+            out.append(node)
+            stack.append(node.left)
+            stack.append(node.right)
+    out.reverse()
+    return out
+
+
 def _backtrack(node: _Node, w: int, out: List[int]) -> None:
-    if node.left is None:
-        out.append(int(w))
-        return
-    wa = int(node.choice[w - node.curve.w_min])
-    _backtrack(node.left, wa, out)
-    _backtrack(node.right, w - wa, out)
+    """Walk choice tables down a (sub)tree, appending leaf allocations.
+
+    Iterative pre-order (left subtree fully before right), so the output
+    order matches the leaf order.
+    """
+    stack = [(node, int(w))]
+    while stack:
+        node, w = stack.pop()
+        if node.left is None:
+            out.append(w)
+            continue
+        wa = node.choice[w - node.w_lo]
+        stack.append((node.right, w - wa))
+        stack.append((node.left, wa))
+
+
+class ReductionTree:
+    """Persistent reduction tree over one curve per core.
+
+    The tree is built once and owned across RM invocations; replacing one
+    leaf's curve (:meth:`update`) re-runs only the combines on that leaf's
+    path to the root.  The root itself is special: its full combined curve
+    is never needed (it is nobody's combine input and the budget is a
+    single way count), so :meth:`solve` evaluates the root split with a
+    windowed min over the two child curves — the same candidate sums, the
+    same first-minimum tie-break, hence bit-identical allocations to the
+    full rebuild at a fraction of the work.
+
+    Operation accounting: the constructor charges the initial build to
+    :attr:`build_operations`; :meth:`update` and :meth:`solve` return the
+    cells they actually touched.  Summed per invocation this is the
+    ``dp_operations`` of the incremental accounting mode.
+    """
+
+    def __init__(self, curves: Sequence[EnergyCurve]):
+        if not curves:
+            raise ValueError("need at least one curve")
+        self._leaves = [_Node(curve=c) for c in curves]
+        self._root = _pair_up(list(self._leaves))
+        self._internal = _internal_bottom_up(self._root)
+        ops = 0
+        for node in self._internal:
+            if node is not self._root:
+                ops += _combine_node(node)
+        #: Cells touched building every non-root combine once.
+        self.build_operations = ops
+
+    @property
+    def n_leaves(self) -> int:
+        return len(self._leaves)
+
+    @property
+    def w_min_total(self) -> int:
+        return sum(leaf.curve.w_min for leaf in self._leaves)
+
+    @property
+    def w_max_total(self) -> int:
+        return sum(leaf.curve.w_max for leaf in self._leaves)
+
+    def leaf_curve(self, index: int) -> EnergyCurve:
+        return self._leaves[index].curve
+
+    def update(self, index: int, curve: EnergyCurve) -> int:
+        """Replace one leaf's curve; recombine its path; return ops."""
+        leaf = self._leaves[index]
+        leaf.curve = curve
+        ops = 0
+        node = leaf.parent
+        while node is not None and node is not self._root:
+            ops += _combine_node(node)
+            node = node.parent
+        return ops
+
+    def evaluate(self, total_ways: int):
+        """Root evaluation with deferred way extraction.
+
+        Returns ``(total_energy, dp_operations, extract)`` where
+        ``extract()`` walks the choice tables and returns the per-leaf
+        allocation.  The split is deliberate: under re-partition
+        hysteresis the caller often keeps the current allocation, in
+        which case the walk never happens (it was computed and discarded
+        before).  ``dp_operations`` covers only this evaluation (the root
+        window); the caller adds the build/update combine work it
+        already charged.
+        """
+        if not self.w_min_total <= total_ways <= self.w_max_total:
+            raise ValueError(
+                f"budget {total_ways} outside combined domain "
+                f"[{self.w_min_total}, {self.w_max_total}]"
+            )
+        root = self._root
+        if root.left is None:
+            total = root.curve.energy_at(total_ways)
+            if not np.isfinite(total):
+                raise ValueError("no feasible partition for the given curves")
+            return float(total), 0, lambda: [int(total_ways)]
+        left, right = root.left.curve, root.right.curve
+        lo = max(left.w_min, total_ways - right.w_max)
+        hi = min(left.w_max, total_ways - right.w_min)
+        # Candidate left allocations ascending; the right slice is the
+        # matching descending window.  Same sums, same first-min
+        # tie-break as the full root combine's column ``total_ways``.
+        left_seg = left.energy[lo - left.w_min : hi - left.w_min + 1]
+        right_seg = right.energy[
+            total_ways - hi - right.w_min : total_ways - lo - right.w_min + 1
+        ][::-1]
+        sums = left_seg + right_seg
+        wa = lo + int(sums.argmin())
+        total = sums[wa - lo]
+        if not np.isfinite(total):
+            raise ValueError("no feasible partition for the given curves")
+
+        def extract() -> List[int]:
+            out: List[int] = []
+            _backtrack(root.left, wa, out)
+            _backtrack(root.right, total_ways - wa, out)
+            return out
+
+        return float(total), int(sums.size), extract
+
+    def solve(self, total_ways: int) -> GlobalOptResult:
+        """Optimal partition for the budget from the current curves."""
+        total, ops, extract = self.evaluate(total_ways)
+        return GlobalOptResult(ways=extract(), total_energy=total, dp_operations=ops)
 
 
 def partition_ways(
     curves: Sequence[EnergyCurve], total_ways: int
 ) -> GlobalOptResult:
     """Optimal way partition across cores for a fixed budget.
+
+    The stateless full rebuild: every combine (including the root's full
+    convolution) runs and is charged to ``dp_operations`` — the
+    per-invocation cost profile of the prior-work framework and of this
+    repo before the persistent kernel.
 
     Raises
     ------
@@ -125,11 +331,14 @@ def partition_ways(
         raise ValueError(
             f"budget {total_ways} outside combined domain [{lo}, {hi}]"
         )
-    ops = [0]
-    root = _reduce(list(curves), ops)
+    leaves = [_Node(curve=c) for c in curves]
+    root = _pair_up(list(leaves))
+    ops = 0
+    for node in _internal_bottom_up(root):
+        ops += _combine_node(node)
     total = root.curve.energy_at(total_ways)
     if not np.isfinite(total):
         raise ValueError("no feasible partition for the given curves")
     out: List[int] = []
     _backtrack(root, total_ways, out)
-    return GlobalOptResult(ways=out, total_energy=float(total), dp_operations=ops[0])
+    return GlobalOptResult(ways=out, total_energy=float(total), dp_operations=ops)

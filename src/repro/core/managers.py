@@ -10,12 +10,27 @@ Fig. 3), returning the full new system setting ``{(c*_j, f*_j, w*_j)}``.
 Cores that have not yet produced statistics stay pinned at the baseline
 allocation via degenerate single-point curves, which keeps the way budget
 exactly allocated from the first invocation.
+
+The global step runs in one of two *reduction modes*:
+
+* ``"incremental"`` (default) — the manager owns a persistent
+  :class:`~repro.core.global_opt.ReductionTree`; each observe re-runs only
+  the O(log n) combines on the invoking core's leaf-to-root path and
+  ``dp_operations`` charges exactly that incremental work.
+* ``"full_rebuild"`` — every observe rebuilds the whole tree through the
+  stateless :func:`~repro.core.global_opt.partition_ways`, preserving the
+  per-invocation cost profile of the prior-work framework (and of this
+  repo before the persistent kernel) for the Section III-E overheads
+  comparison.
+
+Both modes select bit-identical settings and predicted energies (the
+kernel differential tests assert it); only the charged work differs.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Mapping, Optional
+from typing import Dict, List, Mapping, Optional
 
 import numpy as np
 
@@ -23,12 +38,24 @@ from repro.config import Setting, SystemConfig
 from repro.core.energy_curve import EnergyCurve
 from repro.core.energy_model import OnlineEnergyModel
 from repro.core.local_opt import LocalOptResult, RMCapabilities, optimize_local
-from repro.core.global_opt import partition_ways
+from repro.core.global_opt import ReductionTree, partition_ways
 from repro.core.perf_models import ModelInputs, PerformanceModel
 from repro.core.qos import QoSPolicy
 from repro.power.model import PowerModel
 
-__all__ = ["ResourceManager", "IdleRM", "RM1", "RM2", "RM3", "make_rm", "RMDecision"]
+__all__ = [
+    "ResourceManager",
+    "IdleRM",
+    "RM1",
+    "RM2",
+    "RM3",
+    "make_rm",
+    "RMDecision",
+    "REDUCTION_MODES",
+]
+
+#: The two accounting/execution modes of the global curve reduction.
+REDUCTION_MODES = ("incremental", "full_rebuild")
 
 
 @dataclass(frozen=True)
@@ -74,9 +101,15 @@ class ResourceManager:
         energy_model: OnlineEnergyModel | None = None,
         qos: QoSPolicy | Mapping[int, QoSPolicy] | None = None,
         switch_threshold: float = 0.02,
+        reduction: str = "incremental",
     ):
         if switch_threshold < 0:
             raise ValueError("switch_threshold must be non-negative")
+        if reduction not in REDUCTION_MODES:
+            raise ValueError(
+                f"unknown reduction mode {reduction!r}; options: {REDUCTION_MODES}"
+            )
+        self.reduction = reduction
         self.system = system
         self.perf_model = perf_model
         self.capabilities = capabilities
@@ -109,6 +142,22 @@ class ResourceManager:
         self._current_ways: Dict[int, int] = {
             i: system.baseline_setting().ways for i in range(system.n_cores)
         }
+        #: Effective per-core curves the global step runs over (fresh
+        #: local curves once observed, baseline-pinned before that).
+        self._curves: List[EnergyCurve] = self._pinned_curves()
+        #: Persistent reduction tree (incremental mode; built lazily on
+        #: the first observe, dropped on reset).
+        self._tree: ReductionTree | None = None
+        #: Per-core ways -> Setting memo; a core's entry is dropped when
+        #: its local result changes, so every invocation can hand back
+        #: the full settings map without re-deriving unchanged cores.
+        self._settings_memo: List[Dict[int, Setting]] = [
+            {} for _ in range(system.n_cores)
+        ]
+
+    def _pinned_curves(self) -> List[EnergyCurve]:
+        pinned = EnergyCurve.pinned(self.system.baseline_setting().ways)
+        return [pinned] * self.system.n_cores
 
     # ------------------------------------------------------------------
     def observe(self, core_id: int, inputs: ModelInputs) -> RMDecision:
@@ -126,7 +175,7 @@ class ResourceManager:
             self.qos_for(core_id),
         )
         state.result = result
-        return self._reoptimize(invoker_evaluations=result.evaluations)
+        return self._reoptimize(core_id, invoker_evaluations=result.evaluations)
 
     def qos_for(self, core_id: int) -> QoSPolicy:
         """The QoS policy governing one core's application."""
@@ -139,61 +188,96 @@ class ResourceManager:
             raise KeyError(f"unknown core {core_id}")
         return self._cores[core_id]
 
-    def _reoptimize(self, invoker_evaluations: int) -> RMDecision:
+    def _reoptimize(self, changed_core: int, invoker_evaluations: int) -> RMDecision:
         baseline = self.system.baseline_setting()
-        curves = []
-        for i in range(self.system.n_cores):
-            result = self._cores[i].result
-            if result is None or not result.curve.has_feasible_point():
-                curves.append(EnergyCurve.pinned(baseline.ways))
-            else:
-                curves.append(result.curve)
-        global_result = partition_ways(curves, self.system.total_ways)
+        result = self._cores[changed_core].result
+        if result is None or not result.curve.has_feasible_point():
+            self._curves[changed_core] = EnergyCurve.pinned(baseline.ways)
+        else:
+            self._curves[changed_core] = result.curve
+        self._settings_memo[changed_core].clear()
+        curves = self._curves
+        total_energy, dp_operations, extract_ways = self._partition(changed_core)
 
-        ways = list(global_result.ways)
-        total_energy = global_result.total_energy
         keep_energy = self._energy_at_partition(curves)
-        if keep_energy is not None:
-            improvement = keep_energy - total_energy
-            if improvement < self.switch_threshold * abs(keep_energy):
-                # Not worth re-partitioning: keep the current way split but
-                # still refresh the per-way optimal (c, f) choices.
-                ways = [self._current_ways[i] for i in range(self.system.n_cores)]
-                total_energy = keep_energy
+        if keep_energy is not None and (
+            keep_energy - total_energy < self.switch_threshold * abs(keep_energy)
+        ):
+            # Not worth re-partitioning: keep the current way split but
+            # still refresh the per-way optimal (c, f) choices.  The
+            # optimal allocation is never extracted in this branch.
+            ways = [self._current_ways[i] for i in range(self.system.n_cores)]
+            total_energy = keep_energy
+        else:
+            ways = extract_ways()
 
         settings: Dict[int, Setting] = {}
         for i, w in enumerate(ways):
-            result = self._cores[i].result
-            if result is None or not result.is_feasible(w):
-                # No observations yet (pinned curve) or a defensive fallback
-                # for an infeasible pick: run the baseline (c, f) at w.
-                settings[i] = baseline.replace(ways=w)
-            else:
-                settings[i] = result.setting_for(w)
-            self._current_ways[i] = int(w)
+            w = int(w)
+            memo = self._settings_memo[i]
+            setting = memo.get(w)
+            if setting is None:
+                result = self._cores[i].result
+                if result is None or not result.is_feasible(w):
+                    # No observations yet (pinned curve) or a defensive
+                    # fallback for an infeasible pick: baseline (c, f) at w.
+                    setting = baseline.replace(ways=w)
+                else:
+                    setting = result.setting_for(w)
+                memo[w] = setting
+            settings[i] = setting
+            self._current_ways[i] = w
         return RMDecision(
             settings=settings,
             local_evaluations=invoker_evaluations,
-            dp_operations=global_result.dp_operations,
+            dp_operations=dp_operations,
             total_predicted_energy=total_energy,
         )
+
+    def _partition(self, changed_core: int):
+        """Run the global reduction in the configured mode.
+
+        Returns ``(total_energy, dp_operations, extract_ways)`` with the
+        allocation walk deferred (hysteresis usually discards it).
+        Incremental: re-run only the changed leaf's path combines on the
+        persistent tree (building it once after a reset) plus the root
+        window evaluation; ``dp_operations`` charges exactly that work.
+        Full rebuild: the stateless reduction, charging every combine —
+        today's accounting, kept for the Section III-E overheads table.
+        """
+        if self.reduction == "full_rebuild":
+            result = partition_ways(self._curves, self.system.total_ways)
+            return (
+                result.total_energy,
+                result.dp_operations,
+                lambda: list(result.ways),
+            )
+        if self._tree is None:
+            self._tree = ReductionTree(self._curves)
+            ops = self._tree.build_operations
+        else:
+            ops = self._tree.update(changed_core, self._curves[changed_core])
+        total, eval_ops, extract = self._tree.evaluate(self.system.total_ways)
+        return total, ops + eval_ops, extract
 
     def _energy_at_partition(self, curves) -> float | None:
         """Predicted total energy of keeping the current way partition.
 
         None when any core's current allocation is infeasible or outside
-        its fresh curve (forcing a re-partition).
+        its fresh curve (forcing a re-partition).  Accumulates in core
+        order (bit-compatible with a scalar left-to-right sum).
         """
         total = 0.0
+        current = self._current_ways
         for i, curve in enumerate(curves):
-            w = self._current_ways[i]
+            w = current[i]
             if not curve.w_min <= w <= curve.w_max:
                 return None
-            e = curve.energy_at(w)
+            e = curve.energy[w - curve.w_min]
             if not np.isfinite(e):
                 return None
             total += e
-        return total
+        return float(total)
 
     def reset(self) -> None:
         baseline = self.system.baseline_setting()
@@ -201,6 +285,10 @@ class ResourceManager:
             state.result = None
         for i in self._current_ways:
             self._current_ways[i] = baseline.ways
+        self._curves = self._pinned_curves()
+        self._tree = None
+        for memo in self._settings_memo:
+            memo.clear()
 
 
 class IdleRM(ResourceManager):

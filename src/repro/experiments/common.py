@@ -52,18 +52,27 @@ class ExperimentConfig:
     workloads_per_scenario: int = 6
     #: Core counts evaluated by the multi-core experiments.
     core_counts: Tuple[int, ...] = (4, 8)
+    #: Core counts swept by the decision-kernel scaling experiment
+    #: (None resolves to 4..32, shrunk in quick mode; an explicit tuple —
+    #: e.g. from ``--scaling-cores`` — is honoured as-is).
+    scaling_core_counts: Tuple[int, ...] | None = None
     #: Horizon override in intervals (None = the paper's longest-app rule).
     horizon_intervals: int | None = None
 
     def effective(self) -> "ExperimentConfig":
-        """Resolve quick-mode shrinkage."""
-        if not self.quick:
-            return self
+        """Resolve quick-mode shrinkage and defaulted fields."""
+        cfg = self
+        if cfg.scaling_core_counts is None:
+            cfg = replace(
+                cfg, scaling_core_counts=(4, 16) if cfg.quick else (4, 8, 16, 32)
+            )
+        if not cfg.quick:
+            return cfg
         return replace(
-            self,
-            workloads_per_scenario=min(self.workloads_per_scenario, 2),
+            cfg,
+            workloads_per_scenario=min(cfg.workloads_per_scenario, 2),
             core_counts=(4,),
-            horizon_intervals=self.horizon_intervals or 12,
+            horizon_intervals=cfg.horizon_intervals or 12,
         )
 
 

@@ -17,12 +17,21 @@ work-proportional (per instruction at the current setting), static power
 accrues over wall-clock time including stalls.  Accounting for each core
 stops at the instruction horizon; simulation (and uncore energy) continues
 until every core reaches it (Section IV-D1).
+
+Per-core execution state lives in a struct-of-arrays container
+(:class:`_CoreStates`): the per-event hot path — boundary selection and
+:func:`advance_cores` — is pure NumPy over those arrays, so a 32-core
+system pays a handful of array operations per event instead of a Python
+loop over cores.  The scalar loop survives as
+:func:`advance_cores_reference`, the differential-testing oracle (the
+replay engine's ``LRUStack`` pattern).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
 from typing import List, Optional, Sequence
+
+import numpy as np
 
 from repro.cache.partition import RepartitionTransient
 from repro.config import Setting, SystemConfig
@@ -33,53 +42,178 @@ from repro.database.builder import SimDatabase
 from repro.database.records import PhaseRecord
 from repro.power.dvfs import DVFSController
 from repro.power.energy import EnergyBreakdown
-from repro.simulator.events import next_boundary
+from repro.simulator.events import next_boundary_arrays
 from repro.simulator.metrics import SettingChange, SimResult
 
-__all__ = ["MulticoreRMSimulator"]
+__all__ = [
+    "MulticoreRMSimulator",
+    "advance_cores",
+    "advance_cores_reference",
+]
 
 #: Violations smaller than this relative slack are float noise, not QoS misses.
 _VIOLATION_EPS = 1e-6
 
 
-@dataclass
-class _CoreRun:
-    """Mutable per-core execution state."""
+class _CoreStates:
+    """Struct-of-arrays execution state for all cores.
 
-    core_id: int
-    app_name: str
-    interval: int
-    record: PhaseRecord
-    setting: Setting
-    instr_done: float = 0.0
-    stall_s: float = 0.0
-    interval_elapsed_s: float = 0.0
-    total_instr: float = 0.0
-    energy: EnergyBreakdown = field(default_factory=EnergyBreakdown)
-    finished: bool = False
-    # cached rates for the current (record, setting)
-    tpi_s: float = 0.0
-    work_j_per_inst: float = 0.0
-    static_w: float = 0.0
-    ipc: float = 1.0
-    epi_j: float = 0.0
+    Numeric per-core state is one NumPy array per field; object state
+    (phase record, current setting) stays in aligned Python lists.  Rates
+    are refreshed per core (:meth:`refresh_rates`) only when that core's
+    (record, setting) pair actually changed — the refreshed values are a
+    pure function of the pair, so skipping untouched cores is exact.
+    """
 
-    def refresh_rates(self) -> None:
-        rec, s = self.record, self.setting
-        self.tpi_s = rec.tpi_at(s)
-        c, fi, wi = int(s.core), rec.f_index(s.f_ghz), rec.w_index(s.ways)
-        n = rec.n_instructions
-        self.epi_j = float(rec.core_dyn_grid[c, fi]) / n
-        self.work_j_per_inst = self.epi_j + float(rec.mem_energy_curve[wi]) / n
-        self.static_w = float(rec.core_static_power_grid[c, fi])
-        counters_ipc = n / (rec.time_grid[c, fi, wi] * s.f_ghz * 1e9)
-        self.ipc = max(float(counters_ipc), 1e-3)
+    __slots__ = (
+        "n",
+        "stall_s",
+        "tpi_s",
+        "instr_done",
+        "total_instr",
+        "interval_elapsed_s",
+        "n_instructions",
+        "epi_j",
+        "work_j_per_inst",
+        "static_w",
+        "ipc",
+        "finished",
+        "core_dynamic_j",
+        "core_static_j",
+        "memory_j",
+        "overhead_j",
+        "records",
+        "settings",
+        "intervals",
+        "apps",
+    )
+
+    def __init__(self, n: int):
+        self.n = n
+        self.stall_s = np.zeros(n)
+        self.tpi_s = np.ones(n)
+        self.instr_done = np.zeros(n)
+        self.total_instr = np.zeros(n)
+        self.interval_elapsed_s = np.zeros(n)
+        self.n_instructions = np.zeros(n)
+        self.epi_j = np.zeros(n)
+        self.work_j_per_inst = np.zeros(n)
+        self.static_w = np.zeros(n)
+        self.ipc = np.ones(n)
+        self.finished = np.zeros(n, dtype=bool)
+        self.core_dynamic_j = np.zeros(n)
+        self.core_static_j = np.zeros(n)
+        self.memory_j = np.zeros(n)
+        self.overhead_j = np.zeros(n)
+        self.records: List[PhaseRecord] = [None] * n  # type: ignore[list-item]
+        self.settings: List[Setting] = [None] * n  # type: ignore[list-item]
+        self.intervals = [0] * n
+        self.apps: List[str] = [""] * n
 
     @property
-    def remaining_instr(self) -> float:
+    def remaining_instr(self) -> np.ndarray:
         # instr_done may overshoot by the advance clamp's epsilon; never
         # report negative work.
-        return max(self.record.n_instructions - self.instr_done, 0.0)
+        return np.maximum(self.n_instructions - self.instr_done, 0.0)
+
+    def refresh_rates(self, i: int) -> None:
+        rec, s = self.records[i], self.settings[i]
+        self.tpi_s[i] = rec.tpi_at(s)
+        c, fi, wi = int(s.core), rec.f_index(s.f_ghz), rec.w_index(s.ways)
+        n = rec.n_instructions
+        self.n_instructions[i] = n
+        epi = float(rec.core_dyn_grid[c, fi]) / n
+        self.epi_j[i] = epi
+        self.work_j_per_inst[i] = epi + float(rec.mem_energy_curve[wi]) / n
+        self.static_w[i] = float(rec.core_static_power_grid[c, fi])
+        counters_ipc = n / (rec.time_grid[c, fi, wi] * s.f_ghz * 1e9)
+        self.ipc[i] = max(float(counters_ipc), 1e-3)
+
+    def energy_breakdowns(self) -> List[EnergyBreakdown]:
+        return [
+            EnergyBreakdown(
+                core_dynamic_j=float(self.core_dynamic_j[i]),
+                core_static_j=float(self.core_static_j[i]),
+                memory_j=float(self.memory_j[i]),
+                overhead_j=float(self.overhead_j[i]),
+            )
+            for i in range(self.n)
+        ]
+
+
+def advance_cores(st: _CoreStates, dt: float, horizon: float) -> None:
+    """Advance every core by ``dt`` seconds of wall-clock time.
+
+    Vectorised over the core axis; element for element the arithmetic is
+    the scalar reference's (:func:`advance_cores_reference`), so results
+    are bit-identical (differentially tested).
+    """
+    if dt < 0:
+        raise ValueError("dt must be non-negative")
+    served_stall = np.minimum(st.stall_s, dt)
+    run_time = dt - served_stall
+    st.stall_s -= served_stall
+    d_instr = run_time / st.tpi_s
+    # Clamp float drift at the boundary.
+    np.minimum(d_instr, st.remaining_instr + 1e-6, out=d_instr)
+
+    active = ~st.finished
+    crossing = active & (st.total_instr + d_instr >= horizon) & (d_instr > 0)
+    if np.any(crossing):
+        counted = np.maximum(horizon - st.total_instr[crossing], 0.0)
+        frac = counted / d_instr[crossing]
+        st.core_dynamic_j[crossing] += st.epi_j[crossing] * counted
+        st.memory_j[crossing] += (
+            st.work_j_per_inst[crossing] - st.epi_j[crossing]
+        ) * counted
+        st.core_static_j[crossing] += st.static_w[crossing] * dt * frac
+        st.finished[crossing] = True
+    running = active & ~crossing
+    st.core_dynamic_j[running] += st.epi_j[running] * d_instr[running]
+    st.memory_j[running] += (
+        st.work_j_per_inst[running] - st.epi_j[running]
+    ) * d_instr[running]
+    st.core_static_j[running] += st.static_w[running] * dt
+    st.finished[running & (d_instr == 0.0) & (st.total_instr >= horizon)] = True
+
+    st.instr_done += d_instr
+    st.total_instr += d_instr
+    st.interval_elapsed_s += dt
+
+
+def advance_cores_reference(st: _CoreStates, dt: float, horizon: float) -> None:
+    """Scalar per-core reference for :func:`advance_cores` (testing oracle)."""
+    if dt < 0:
+        raise ValueError("dt must be non-negative")
+    for i in range(st.n):
+        served_stall = min(float(st.stall_s[i]), dt)
+        run_time = dt - served_stall
+        st.stall_s[i] -= served_stall
+        d_instr = run_time / float(st.tpi_s[i]) if run_time > 0 else 0.0
+        remaining = max(float(st.n_instructions[i]) - float(st.instr_done[i]), 0.0)
+        d_instr = min(d_instr, remaining + 1e-6)
+
+        if not st.finished[i]:
+            total = float(st.total_instr[i])
+            epi = float(st.epi_j[i])
+            work = float(st.work_j_per_inst[i])
+            if total + d_instr >= horizon and d_instr > 0:
+                counted = max(horizon - total, 0.0)
+                frac = counted / d_instr if d_instr > 0 else 0.0
+                st.core_dynamic_j[i] += epi * counted
+                st.memory_j[i] += (work - epi) * counted
+                st.core_static_j[i] += float(st.static_w[i]) * dt * frac
+                st.finished[i] = True
+            else:
+                st.core_dynamic_j[i] += epi * d_instr
+                st.memory_j[i] += (work - epi) * d_instr
+                st.core_static_j[i] += float(st.static_w[i]) * dt
+                if d_instr == 0.0 and total >= horizon:
+                    st.finished[i] = True
+
+        st.instr_done[i] += d_instr
+        st.total_instr[i] += d_instr
+        st.interval_elapsed_s[i] += dt
 
 
 class MulticoreRMSimulator:
@@ -138,9 +272,10 @@ class MulticoreRMSimulator:
             pass length, the paper's "longest application" rule).
         """
         system = self.system
-        if len(apps) != system.n_cores:
+        n_cores = system.n_cores
+        if len(apps) != n_cores:
             raise ValueError(
-                f"workload has {len(apps)} apps for {system.n_cores} cores"
+                f"workload has {len(apps)} apps for {n_cores} cores"
             )
         for name in apps:
             if name not in self.db.records:
@@ -153,17 +288,12 @@ class MulticoreRMSimulator:
         horizon = float(horizon_intervals) * n_interval
 
         baseline = system.baseline_setting()
-        cores: List[_CoreRun] = []
+        st = _CoreStates(n_cores)
         for cid, name in enumerate(apps):
-            run = _CoreRun(
-                core_id=cid,
-                app_name=name,
-                interval=0,
-                record=self.db.record_for_interval(name, 0),
-                setting=baseline,
-            )
-            run.refresh_rates()
-            cores.append(run)
+            st.apps[cid] = name
+            st.records[cid] = self.db.record_for_interval(name, 0)
+            st.settings[cid] = baseline
+            st.refresh_rates(cid)
 
         t = 0.0
         intervals_completed = 0
@@ -174,24 +304,24 @@ class MulticoreRMSimulator:
         history: Optional[List[SettingChange]] = [] if self.collect_history else None
 
         for _ in range(max_events):
-            if all(c.finished for c in cores):
+            if np.all(st.finished):
                 break
-            boundary = next_boundary(
-                [c.stall_s for c in cores],
-                [c.remaining_instr for c in cores],
-                [c.tpi_s for c in cores],
+            boundary = next_boundary_arrays(
+                st.stall_s, st.remaining_instr, st.tpi_s
             )
             dt = boundary.dt_s
-            self._advance_all(cores, dt, horizon)
+            advance_cores(st, dt, horizon)
             t += dt
 
             # Interval boundary on the triggering core.
-            core = cores[boundary.core_id]
-            elapsed = core.interval_elapsed_s
-            base_time = core.record.time_at(baseline)
-            if not core.finished:
+            b = boundary.core_id
+            elapsed = float(st.interval_elapsed_s[b])
+            record = st.records[b]
+            setting = st.settings[b]
+            base_time = record.time_at(baseline)
+            if not st.finished[b]:
                 qos_checks += 1
-                alpha = self._alpha_for(core.core_id)
+                alpha = self._alpha_for(b)
                 rel = (elapsed - base_time * alpha) / base_time
                 if rel > _VIOLATION_EPS:
                     violations.append(rel)
@@ -199,63 +329,65 @@ class MulticoreRMSimulator:
 
             # Move to the next interval before asking the RM, so the Perfect
             # model sees the true next phase.
-            counters = core.record.counters_at(core.setting)
-            atd = core.record.atd_report()
-            core.interval += 1
-            core.instr_done = 0.0
-            core.interval_elapsed_s = 0.0
-            core.record = self.db.record_for_interval(core.app_name, core.interval)
+            counters = record.counters_at(setting)
+            atd = record.atd_report()
+            st.intervals[b] += 1
+            st.instr_done[b] = 0.0
+            st.interval_elapsed_s[b] = 0.0
+            st.records[b] = self.db.record_for_interval(st.apps[b], st.intervals[b])
 
             inputs = ModelInputs(
-                counters=counters, atd=atd, next_record=core.record
+                counters=counters, atd=atd, next_record=st.records[b]
             )
-            decision = self.rm.observe(core.core_id, inputs)
+            decision = self.rm.observe(b, inputs)
             rm_invocations += 1
 
             if self.charge_overheads and (
                 decision.local_evaluations or decision.dp_operations
             ):
                 instr = self.cost_model.instructions(
-                    system.n_cores,
+                    n_cores,
                     decision.local_evaluations,
                     decision.dp_operations,
                 )
                 rm_instructions += instr
-                core.stall_s += self.cost_model.time_overhead_s(
-                    instr, core.ipc, core.setting.f_ghz
+                st.stall_s[b] += self.cost_model.time_overhead_s(
+                    instr, float(st.ipc[b]), setting.f_ghz
                 )
-                if not core.finished:
-                    core.energy.overhead_j += instr * core.epi_j
+                if not st.finished[b]:
+                    st.overhead_j[b] += instr * float(st.epi_j[b])
 
-            for c in cores:
-                new_setting = decision.settings[c.core_id]
-                if new_setting != c.setting:
+            # The boundary core's record changed; any core whose setting
+            # changes needs fresh rates too.  Everyone else's (record,
+            # setting) pair — hence rates — is untouched.
+            stale = {b}
+            for i in range(n_cores):
+                new_setting = decision.settings[i]
+                if new_setting != st.settings[i]:
                     if self.charge_overheads:
-                        cost = self.dvfs.transition_cost(c.setting, new_setting)
+                        cost = self.dvfs.transition_cost(st.settings[i], new_setting)
                         stall_s, energy_j = self.repartition.cost(
-                            new_setting.ways - c.setting.ways,
+                            new_setting.ways - st.settings[i].ways,
                             self.system.memory.base_latency_s,
                             self.system.memory.access_energy_nj * 1e-9,
                         )
-                        c.stall_s += cost.time_s + stall_s
-                        if not c.finished:
-                            c.energy.overhead_j += cost.energy_j + energy_j
-                    c.setting = new_setting
+                        st.stall_s[i] += cost.time_s + stall_s
+                        if not st.finished[i]:
+                            st.overhead_j[i] += cost.energy_j + energy_j
+                    st.settings[i] = new_setting
+                    stale.add(i)
                     if history is not None:
-                        history.append(SettingChange(t, c.core_id, new_setting))
-                c.refresh_rates()
+                        history.append(SettingChange(t, i, new_setting))
+            for i in stale:
+                st.refresh_rates(i)
         else:
             raise RuntimeError("simulation exceeded max_events; check inputs")
 
-        uncore_power = (
-            self.rm.energy_model.power.uncore_power_w(system.n_cores)
-            if hasattr(self.rm, "energy_model")
-            else 0.0
-        )
+        uncore_power = self.rm.energy_model.power.uncore_power_w(n_cores)
         return SimResult(
             rm_name=self.rm.name,
             apps=tuple(apps),
-            per_core_energy=[c.energy for c in cores],
+            per_core_energy=st.energy_breakdowns(),
             uncore_j=uncore_power * t,
             t_end_s=t,
             horizon_instructions=horizon,
@@ -275,34 +407,3 @@ class MulticoreRMSimulator:
         if qos_for is None:
             return self.system.qos_alpha
         return qos_for(core_id).alpha
-
-    def _advance_all(self, cores: List[_CoreRun], dt: float, horizon: float) -> None:
-        """Advance every core by ``dt`` seconds of wall-clock time."""
-        if dt < 0:
-            raise ValueError("dt must be non-negative")
-        for c in cores:
-            served_stall = min(c.stall_s, dt)
-            run_time = dt - served_stall
-            c.stall_s -= served_stall
-            d_instr = run_time / c.tpi_s if run_time > 0 else 0.0
-            # Clamp float drift at the boundary.
-            d_instr = min(d_instr, c.remaining_instr + 1e-6)
-
-            if not c.finished:
-                if c.total_instr + d_instr >= horizon and d_instr > 0:
-                    counted = max(horizon - c.total_instr, 0.0)
-                    frac = counted / d_instr if d_instr > 0 else 0.0
-                    c.energy.core_dynamic_j += c.epi_j * counted
-                    c.energy.memory_j += (c.work_j_per_inst - c.epi_j) * counted
-                    c.energy.core_static_j += c.static_w * dt * frac
-                    c.finished = True
-                else:
-                    c.energy.core_dynamic_j += c.epi_j * d_instr
-                    c.energy.memory_j += (c.work_j_per_inst - c.epi_j) * d_instr
-                    c.energy.core_static_j += c.static_w * dt
-                    if d_instr == 0.0 and c.total_instr >= horizon:
-                        c.finished = True
-
-            c.instr_done += d_instr
-            c.total_instr += d_instr
-            c.interval_elapsed_s += dt

@@ -12,6 +12,13 @@ cells it covers.
 Generation is repeated with distinct seeds until every suite application has
 appeared at least once across the generated workloads, mirroring the paper's
 "process is repeated until each application is selected at least once".
+
+The construction generalises to *arbitrary* core counts >= 2 (the paper
+evaluates 4 and 8; the scaling extension sweeps 16 and 32 and nothing
+limits odd sizes): the first ``ceil(n/2)`` cores draw from the App1
+categories and the remaining ``floor(n/2)`` from the App2 categories, which
+reduces to the paper's half/half split at even ``n`` — draw for draw, so
+4/8-core workloads are bit-identical to the pre-generalisation ones.
 """
 
 from __future__ import annotations
@@ -99,14 +106,15 @@ def generate_workloads(
     scenario:
         1..4.
     n_cores:
-        Even core count (half App1 picks, half App2 picks).
+        Core count >= 2 (``ceil(n/2)`` App1 picks, ``floor(n/2)`` App2
+        picks; the paper's even split when ``n`` is even).
     n_workloads:
         Number of workloads to produce.
     """
     if scenario not in SCENARIO_TEMPLATES:
         raise ValueError("scenario must be 1..4")
-    if n_cores < 2 or n_cores % 2:
-        raise ValueError("n_cores must be even and >= 2")
+    if n_cores < 2:
+        raise ValueError("n_cores must be >= 2")
     if n_workloads < 1:
         raise ValueError("n_workloads must be >= 1")
 
@@ -121,7 +129,7 @@ def generate_workloads(
         second_pool = _apps_in(categories, second_cats)
         apps = tuple(
             first_pool[int(rng.integers(len(first_pool)))]
-            for _ in range(n_cores // 2)
+            for _ in range(n_cores - n_cores // 2)
         ) + tuple(
             second_pool[int(rng.integers(len(second_pool)))]
             for _ in range(n_cores // 2)

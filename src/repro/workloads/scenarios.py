@@ -26,11 +26,13 @@ from repro.workloads.categories import Category
 
 __all__ = [
     "SCENARIO_CELLS",
+    "TEMPLATE_CELLS",
     "scenario_of_pair",
     "category_counts_from",
     "category_probabilities",
     "cell_probability_table",
     "scenario_weights",
+    "scenario_template_weights",
     "PAPER_SCENARIO_WEIGHTS",
 ]
 
@@ -56,6 +58,19 @@ SCENARIO_CELLS: Mapping[int, Tuple[FrozenSet[Category], ...]] = {
 
 #: The weights the paper uses to average Fig. 6 (Section V-A).
 PAPER_SCENARIO_WEIGHTS: Mapping[int, float] = {1: 0.47, 2: 0.221, 3: 0.221, 4: 0.088}
+
+#: Scenario id -> the Fig. 1 cells each Section IV-C generation template
+#: covers.  Scenario 1 has two templates ("any paired with CS-PS" and the
+#: (CI-PS, CS-PI) cell); the others have one covering all their cells.
+TEMPLATE_CELLS: Mapping[int, Tuple[Tuple[FrozenSet[Category], ...], ...]] = {
+    1: (
+        SCENARIO_CELLS[1][:4],
+        (frozenset({Category.CI_PS, Category.CS_PI}),),
+    ),
+    2: (SCENARIO_CELLS[2],),
+    3: (SCENARIO_CELLS[3],),
+    4: (SCENARIO_CELLS[4],),
+}
 
 
 def scenario_of_pair(a: Category, b: Category) -> int:
@@ -98,20 +113,47 @@ def cell_probability_table(
     return cells
 
 
-def scenario_weights(counts: Mapping[Category, int]) -> Dict[int, float]:
-    """Unordered-pair scenario probabilities (sum to 1).
+def _cells_mass(cells, p: Mapping[Category, float]) -> float:
+    """Unordered-pair probability mass of a set of Fig. 1 cells.
 
     Diagonal cells contribute ``p^2``; off-diagonal cells ``2 p_A p_B``.
     """
+    total = 0.0
+    for cell in cells:
+        members = sorted(cell, key=lambda c: c.value)
+        if len(members) == 1:
+            total += p[members[0]] ** 2
+        else:
+            total += 2.0 * p[members[0]] * p[members[1]]
+    return total
+
+
+def scenario_weights(counts: Mapping[Category, int]) -> Dict[int, float]:
+    """Unordered-pair scenario probabilities (sum to 1)."""
     p = category_probabilities(counts)
-    weights: Dict[int, float] = {}
-    for scenario, cells in SCENARIO_CELLS.items():
-        total = 0.0
-        for cell in cells:
-            members = sorted(cell, key=lambda c: c.value)
-            if len(members) == 1:
-                total += p[members[0]] ** 2
-            else:
-                total += 2.0 * p[members[0]] * p[members[1]]
-        weights[scenario] = total
-    return weights
+    return {
+        scenario: _cells_mass(cells, p)
+        for scenario, cells in SCENARIO_CELLS.items()
+    }
+
+
+def scenario_template_weights(
+    counts: Mapping[Category, int], scenario: int
+) -> Tuple[float, ...]:
+    """Draw probability of each Section IV-C template of a scenario.
+
+    A scenario's workloads are generated from one of its templates, drawn
+    proportionally to the probability mass of the Fig. 1 cells the
+    template covers.  With the Table II counts (5/7/7/8 of 27) Scenario 1
+    yields (0.715, 0.285) to the precision the generator hardcodes; this
+    derivation generalises the split to any suite composition, e.g. when
+    synthesising workloads for scaled systems from custom suites.
+    """
+    if scenario not in TEMPLATE_CELLS:
+        raise ValueError("scenario must be 1..4")
+    p = category_probabilities(counts)
+    masses = [_cells_mass(cells, p) for cells in TEMPLATE_CELLS[scenario]]
+    total = sum(masses)
+    if total <= 0:
+        raise ValueError(f"scenario {scenario} has no probability mass")
+    return tuple(m / total for m in masses)

@@ -9,14 +9,18 @@ Mirrors the ``test_replay_engine.py`` pattern from the replay substrate.
 
 from __future__ import annotations
 
+import os
+
 import pytest
 
 from repro.campaign import (
     Campaign,
     RunSpec,
+    cache_stats,
     clear_result_memo,
     execute_spec,
     get_database,
+    prune_result_cache,
     resolve_campaign_workers,
     result_from_json,
     result_to_json,
@@ -264,6 +268,124 @@ class TestResultStore:
         results = run_campaign(SPECS[:1])
         with pytest.raises(KeyError):
             results[SPECS[1]]
+
+
+class TestResultStoreGC:
+    """The on-disk store's LRU size cap (REPRO_RESULT_CACHE_MAX_MB)."""
+
+    def _fill(self, tmp_path, monkeypatch, n=4, size=1024):
+        monkeypatch.setenv("REPRO_RESULT_CACHE", str(tmp_path))
+        files = []
+        for i in range(n):
+            f = tmp_path / f"{'f%032d' % i}.json"
+            f.write_text("x" * size)
+            os.utime(f, (1_000_000 + i, 1_000_000 + i))
+            files.append(f)
+        return files
+
+    def test_prune_evicts_oldest_mtime_first(self, tmp_path, monkeypatch):
+        files = self._fill(tmp_path, monkeypatch, n=4, size=1024)
+        outcome = prune_result_cache(max_mb=2 * 1024 / (1024 * 1024))
+        assert outcome["removed_files"] == 2
+        assert not files[0].exists() and not files[1].exists()
+        assert files[2].exists() and files[3].exists()
+        assert outcome["kept_bytes"] <= 2 * 1024
+
+    def test_prune_respects_env_cap(self, tmp_path, monkeypatch):
+        self._fill(tmp_path, monkeypatch, n=3, size=1024)
+        monkeypatch.setenv(
+            "REPRO_RESULT_CACHE_MAX_MB", str(1024 / (1024 * 1024))
+        )
+        outcome = prune_result_cache()
+        assert outcome["removed_files"] == 2
+        assert outcome["kept_files"] == 1
+
+    def test_prune_without_cap_is_noop(self, tmp_path, monkeypatch):
+        files = self._fill(tmp_path, monkeypatch, n=2)
+        monkeypatch.delenv("REPRO_RESULT_CACHE_MAX_MB", raising=False)
+        outcome = prune_result_cache()
+        assert outcome["removed_files"] == 0
+        assert all(f.exists() for f in files)
+
+    def test_non_positive_explicit_cap_means_unbounded(self, tmp_path, monkeypatch):
+        """max_mb<=0 is 'unbounded' exactly like the env var — it must
+        not be read as 'evict everything'."""
+        files = self._fill(tmp_path, monkeypatch, n=3)
+        for cap in (0, -5.0):
+            outcome = prune_result_cache(cap)
+            assert outcome["removed_files"] == 0
+        assert all(f.exists() for f in files)
+
+    def test_malformed_env_cap_fails_before_simulating(
+        self, full_db, monkeypatch, tmp_path
+    ):
+        monkeypatch.setenv("REPRO_RESULT_CACHE", str(tmp_path))
+        monkeypatch.setenv("REPRO_RESULT_CACHE_MAX_MB", "256MB")
+        simulated = []
+        monkeypatch.setattr(
+            campaign_executor, "_simulate",
+            lambda spec: simulated.append(spec),
+        )
+        clear_result_memo()
+        with pytest.raises(ValueError, match="REPRO_RESULT_CACHE_MAX_MB"):
+            run_campaign(SPECS[:1])
+        assert simulated == []  # failed fast, no work lost afterwards
+
+    def test_disk_hit_bumps_mtime_for_lru(self, full_db, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_RESULT_CACHE", str(tmp_path))
+        spec = SPECS[0]
+        run_campaign([spec])
+        file = tmp_path / f"{spec.fingerprint}.json"
+        os.utime(file, (1_000_000, 1_000_000))
+        clear_result_memo()
+        run_campaign([spec])  # warm disk hit
+        assert file.stat().st_mtime > 1_000_000
+
+    def test_memo_hit_bumps_mtime_for_lru(self, full_db, monkeypatch, tmp_path):
+        """Results served from the in-memory memo are still in use: their
+        on-disk twins must stay LRU-hot or the prune evicts them."""
+        monkeypatch.setenv("REPRO_RESULT_CACHE", str(tmp_path))
+        spec = SPECS[0]
+        run_campaign([spec])  # populates memo + disk
+        file = tmp_path / f"{spec.fingerprint}.json"
+        os.utime(file, (1_000_000, 1_000_000))
+        run_campaign([spec])  # memo hit, no disk read
+        assert file.stat().st_mtime > 1_000_000
+
+    def test_campaign_enforces_cap_after_simulation(
+        self, full_db, monkeypatch, tmp_path
+    ):
+        monkeypatch.setenv("REPRO_RESULT_CACHE", str(tmp_path))
+        stale = self._fill(tmp_path, monkeypatch, n=2, size=200_000)
+        monkeypatch.setenv("REPRO_RESULT_CACHE_MAX_MB", "0.1")
+        clear_result_memo()
+        results = run_campaign(SPECS[:2])
+        assert results.stats.simulated == 2
+        # the stale filler aged out; the fresh results survived
+        assert not any(f.exists() for f in stale)
+        for spec in SPECS[:2]:
+            assert (tmp_path / f"{spec.fingerprint}.json").exists()
+
+    def test_cache_stats_counts_store(self, tmp_path, monkeypatch):
+        self._fill(tmp_path, monkeypatch, n=3, size=512)
+        stats = cache_stats()
+        assert stats["files"] == 3
+        assert stats["bytes"] == 3 * 512
+
+    def test_cli_cache_subcommand(self, tmp_path, monkeypatch, capsys):
+        from repro.cli import main
+
+        self._fill(tmp_path, monkeypatch, n=3, size=1024)
+        assert main(["cache"]) == 0
+        out = capsys.readouterr().out
+        assert "3 results" in out
+        assert main(["cache", "--prune", "--max-mb", "0.001"]) == 0
+        out = capsys.readouterr().out
+        assert "pruned 2 results" in out
+        assert main(["cache", "--prune"]) == 0  # no cap -> no-op
+        monkeypatch.delenv("REPRO_RESULT_CACHE")
+        assert main(["cache"]) == 0
+        assert "unset" in capsys.readouterr().out
 
 
 class TestMergedPlan:

@@ -1,0 +1,303 @@
+"""Decision-kernel differential tests.
+
+The incremental kernel (vectorised :func:`combine_pair`, persistent
+:class:`ReductionTree`, struct-of-arrays simulator advance) must be
+bit-identical to the reference implementations it replaced — selected
+allocations, settings, predicted energies and (in ``full_rebuild`` mode)
+``dp_operations``.  These tests are the contract: the scalar combine
+loop, the stateless :func:`partition_ways` and the scalar advance loop
+are kept in-tree as oracles (the replay engine's ``LRUStack`` pattern).
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.energy_curve import EnergyCurve
+from repro.core.global_opt import (
+    ReductionTree,
+    combine_pair,
+    combine_pair_reference,
+    partition_ways,
+)
+from repro.core.managers import make_rm
+from repro.core.perf_models import Model1, Model3, ModelInputs, PerfectModel
+from repro.simulator.rmsim import (
+    MulticoreRMSimulator,
+    _CoreStates,
+    advance_cores,
+    advance_cores_reference,
+)
+
+
+def random_curve(rng, width=15, w_min=2, inf_frac=0.25):
+    energy = rng.random(width) * 10.0
+    energy[rng.random(width) < inf_frac] = np.inf
+    return EnergyCurve(np.arange(w_min, w_min + width), energy)
+
+
+# ---------------------------------------------------------------------------
+# combine_pair: vectorised vs scalar reference
+# ---------------------------------------------------------------------------
+class TestCombineDifferential:
+    @given(
+        la=st.integers(1, 18),
+        lb=st.integers(1, 18),
+        seed=st.integers(0, 10_000),
+        inf_frac=st.floats(0.0, 0.9),
+    )
+    @settings(max_examples=120, deadline=None)
+    def test_bit_identical_to_reference(self, la, lb, seed, inf_frac):
+        rng = np.random.default_rng(seed)
+        a = random_curve(rng, la, w_min=2, inf_frac=inf_frac)
+        b = random_curve(rng, lb, w_min=3, inf_frac=inf_frac)
+        got, got_choice, got_ops = combine_pair(a, b)
+        ref, ref_choice, ref_ops = combine_pair_reference(a, b)
+        assert np.array_equal(got.ways, ref.ways)
+        # bit-identical incl. inf placement (== is exact, inf == inf)
+        assert got.energy.shape == ref.energy.shape
+        assert np.all((got.energy == ref.energy) | (np.isinf(got.energy) & np.isinf(ref.energy)))
+        assert np.array_equal(got_choice, ref_choice)
+        assert got_ops == ref_ops
+
+    def test_all_infeasible_left_keeps_w_min_choice(self):
+        a = EnergyCurve(np.arange(2, 5), np.full(3, np.inf))
+        b = EnergyCurve(np.arange(2, 5), np.zeros(3))
+        got, choice, _ = combine_pair(a, b)
+        ref, ref_choice, _ = combine_pair_reference(a, b)
+        assert np.all(np.isinf(got.energy)) and np.all(np.isinf(ref.energy))
+        assert np.array_equal(choice, ref_choice)
+        assert np.all(choice == a.w_min)
+
+    def test_tie_breaks_to_smallest_left_allocation(self):
+        a = EnergyCurve(np.array([1, 2]), np.array([1.0, 1.0]))
+        b = EnergyCurve(np.array([1, 2]), np.array([1.0, 1.0]))
+        _, choice, _ = combine_pair(a, b)
+        # combined W=3 can be (1,2) or (2,1) at equal energy: left-min wins
+        assert choice[1] == 1
+
+
+# ---------------------------------------------------------------------------
+# ReductionTree: persistent kernel vs stateless full rebuild
+# ---------------------------------------------------------------------------
+class TestReductionTreeDifferential:
+    @given(
+        n=st.integers(1, 12),
+        n_updates=st.integers(0, 8),
+        seed=st.integers(0, 10_000),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_solve_matches_partition_ways(self, n, n_updates, seed):
+        rng = np.random.default_rng(seed)
+        curves = [random_curve(rng) for _ in range(n)]
+        tree = ReductionTree(curves)
+        budget = 8 * n
+        for _ in range(n_updates + 1):
+            try:
+                ref = partition_ways(curves, budget)
+            except ValueError:
+                with pytest.raises(ValueError):
+                    tree.solve(budget)
+            else:
+                got = tree.solve(budget)
+                assert got.ways == ref.ways
+                assert got.total_energy == ref.total_energy  # bit-equal
+            i = int(rng.integers(n))
+            curves[i] = random_curve(rng)
+            tree.update(i, curves[i])
+
+    def test_update_returns_path_ops_only(self):
+        rng = np.random.default_rng(7)
+        n = 8
+        curves = [random_curve(rng, inf_frac=0.0) for _ in range(n)]
+        tree = ReductionTree(curves)
+        full = partition_ways(curves, 8 * n).dp_operations
+        assert tree.build_operations < full  # root combine never runs
+        update_ops = tree.update(3, random_curve(rng, inf_frac=0.0))
+        solve_ops = tree.solve(8 * n).dp_operations
+        # O(log n) path combines + the root window: far below a rebuild
+        assert update_ops + solve_ops < full / 2
+
+    def test_incremental_advantage_grows_with_core_count(self):
+        """The paper's polynomial-complexity argument, sharpened: the
+        persistent tree's per-update work falls ever further behind the
+        full rebuild as the system scales."""
+        rng = np.random.default_rng(11)
+        ratios = {}
+        for n in (4, 8, 16, 32):
+            curves = [random_curve(rng, inf_frac=0.0) for _ in range(n)]
+            tree = ReductionTree(curves)
+            full = partition_ways(curves, 8 * n).dp_operations
+            incr = tree.update(0, random_curve(rng, inf_frac=0.0))
+            incr += tree.solve(8 * n).dp_operations
+            ratios[n] = full / incr
+        assert ratios[32] > ratios[4]
+        assert ratios[32] >= 5.0
+
+    def test_pinned_leaves_and_odd_counts(self):
+        curves = [
+            EnergyCurve.pinned(8),
+            EnergyCurve(np.arange(2, 17), np.linspace(5, 1, 15)),
+            EnergyCurve.pinned(8),
+        ]
+        tree = ReductionTree(curves)
+        got = tree.solve(24)
+        ref = partition_ways(curves, 24)
+        assert got.ways == ref.ways == [8, 8, 8]
+
+    def test_single_leaf(self):
+        tree = ReductionTree([EnergyCurve(np.arange(2, 17), np.linspace(5, 1, 15))])
+        got = tree.solve(10)
+        assert got.ways == [10]
+        assert got.dp_operations == 0
+
+    def test_budget_out_of_domain(self):
+        with pytest.raises(ValueError):
+            ReductionTree([EnergyCurve.pinned(8)]).solve(9)
+
+
+# ---------------------------------------------------------------------------
+# Managers: incremental vs full_rebuild across RMs and models
+# ---------------------------------------------------------------------------
+def _prime_inputs(db, system, app, phase=0):
+    rec = db.record(app, phase)
+    base = system.baseline_setting()
+    return ModelInputs(
+        counters=rec.counters_at(base), atd=rec.atd_report(), next_record=rec
+    )
+
+
+class TestManagerModes:
+    @pytest.mark.parametrize("kind", ["rm1", "rm2", "rm3"])
+    @pytest.mark.parametrize("model_cls", [Model1, Model3, PerfectModel])
+    def test_decisions_identical_across_modes(self, mini_db, system2, kind, model_cls):
+        rm_inc = make_rm(kind, system2, model_cls(), reduction="incremental")
+        rm_full = make_rm(kind, system2, model_cls(), reduction="full_rebuild")
+        apps = ["mini_csps", "mini_cips", "mini_csps", "mini_cips"]
+        for step, app in enumerate(apps):
+            core = step % system2.n_cores
+            inputs = _prime_inputs(
+                mini_db, system2, app, phase=(step % 2 if app == "mini_csps" else 0)
+            )
+            d_inc = rm_inc.observe(core, inputs)
+            d_full = rm_full.observe(core, inputs)
+            assert d_inc.settings == d_full.settings
+            assert d_inc.total_predicted_energy == d_full.total_predicted_energy
+            assert d_inc.local_evaluations == d_full.local_evaluations
+
+    def test_full_rebuild_dp_matches_stateless_reference(self, mini_db, system2):
+        rm = make_rm("rm3", system2, Model3(), reduction="full_rebuild")
+        for core, app in enumerate(["mini_csps", "mini_cips"]):
+            decision = rm.observe(core, _prime_inputs(mini_db, system2, app))
+        ref = partition_ways(rm._curves, system2.total_ways)
+        assert decision.dp_operations == ref.dp_operations
+
+    def test_incremental_charges_less_when_warm(self, mini_db, system2):
+        rm_inc = make_rm("rm3", system2, Model3(), reduction="incremental")
+        rm_full = make_rm("rm3", system2, Model3(), reduction="full_rebuild")
+        inputs = _prime_inputs(mini_db, system2, "mini_csps")
+        for core in range(system2.n_cores):
+            d_inc = rm_inc.observe(core, inputs)
+            d_full = rm_full.observe(core, inputs)
+        assert d_inc.dp_operations < d_full.dp_operations
+
+    def test_reset_rebuilds_tree(self, mini_db, system2):
+        rm = make_rm("rm3", system2, Model3())
+        inputs = _prime_inputs(mini_db, system2, "mini_csps")
+        rm.observe(0, inputs)
+        assert rm._tree is not None
+        rm.reset()
+        assert rm._tree is None
+        decision = rm.observe(1, inputs)
+        assert decision.settings[0].ways == system2.baseline_setting().ways
+
+    def test_unknown_mode_rejected(self, system2):
+        with pytest.raises(ValueError):
+            make_rm("rm3", system2, Model3(), reduction="sometimes")
+
+
+# ---------------------------------------------------------------------------
+# Simulator: SoA advance vs scalar reference, end-to-end mode identity
+# ---------------------------------------------------------------------------
+def _random_states(rng, n):
+    st_ = _CoreStates(n)
+    st_.stall_s[:] = rng.random(n) * 1e-3
+    st_.tpi_s[:] = rng.random(n) * 1e-8 + 1e-10
+    st_.n_instructions[:] = rng.integers(1_000, 100_000, n).astype(float)
+    st_.instr_done[:] = st_.n_instructions * rng.random(n)
+    st_.total_instr[:] = st_.instr_done + rng.random(n) * 1e5
+    st_.interval_elapsed_s[:] = rng.random(n) * 1e-2
+    st_.epi_j[:] = rng.random(n) * 1e-9
+    st_.work_j_per_inst[:] = st_.epi_j + rng.random(n) * 1e-9
+    st_.static_w[:] = rng.random(n)
+    st_.finished[:] = rng.random(n) < 0.2
+    st_.core_dynamic_j[:] = rng.random(n)
+    st_.core_static_j[:] = rng.random(n)
+    st_.memory_j[:] = rng.random(n)
+    return st_
+
+
+def _snapshot(st_):
+    return {
+        name: getattr(st_, name).copy()
+        for name in (
+            "stall_s", "instr_done", "total_instr", "interval_elapsed_s",
+            "finished", "core_dynamic_j", "core_static_j", "memory_j",
+        )
+    }
+
+
+class TestAdvanceDifferential:
+    @given(
+        n=st.integers(1, 40),
+        seed=st.integers(0, 10_000),
+        dt_scale=st.floats(0.0, 1.0),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_vectorised_matches_scalar_reference(self, n, seed, dt_scale):
+        rng = np.random.default_rng(seed)
+        base = _random_states(rng, n)
+        horizon = float(rng.integers(10_000, 200_000))
+        dt = dt_scale * 2e-3
+
+        vec = _random_states(np.random.default_rng(seed), n)
+        advance_cores(vec, dt, horizon)
+        advance_cores_reference(base, dt, horizon)
+
+        got, ref = _snapshot(vec), _snapshot(base)
+        for name in ref:
+            assert np.array_equal(got[name], ref[name]), name
+
+    def test_negative_dt_rejected(self):
+        st_ = _CoreStates(2)
+        with pytest.raises(ValueError):
+            advance_cores(st_, -1.0, 1e6)
+
+
+class TestSimulatorModeIdentity:
+    def test_end_to_end_identical_without_overheads(self, mini_db, system2):
+        """With no overheads charged the two reduction modes must produce
+        bit-identical runs (same settings => same trajectory)."""
+        from repro.campaign.results import result_to_json
+
+        wl = ["mini_csps", "mini_cips"]
+        texts = []
+        for red in ("incremental", "full_rebuild"):
+            rm = make_rm("rm3", system2, Model3(), reduction=red)
+            res = MulticoreRMSimulator(
+                mini_db, rm, charge_overheads=False, collect_history=True
+            ).run(wl, horizon_intervals=8)
+            texts.append(result_to_json(res))
+        assert texts[0] == texts[1]
+
+    def test_idle_runs_price_uncore_energy(self, mini_db, system2):
+        """Every manager (incl. Idle via the base ctor) has an energy
+        model, so uncore power is charged unconditionally."""
+        rm = make_rm("idle", system2)
+        res = MulticoreRMSimulator(mini_db, rm).run(
+            ["mini_csps", "mini_cips"], horizon_intervals=4
+        )
+        expected_w = rm.energy_model.power.uncore_power_w(system2.n_cores)
+        assert expected_w > 0
+        assert res.uncore_j == pytest.approx(expected_w * res.t_end_s)
+        assert res.uncore_j > 0

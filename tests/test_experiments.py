@@ -87,6 +87,33 @@ class TestDynamicArtefacts:
         s4_rm3 = sum(summary["rm3"][4]) / len(summary["rm3"][4])
         assert abs(s4_rm3) < 0.03
 
+    def test_ext_scaling_quick(self, quick_cfg):
+        """The 16/32-core sweep: savings survive scale, kernel work does
+        not rebuild the tree per invocation."""
+        res = run_experiment("ext-scaling", quick_cfg)
+        summary = res.data["summary"]
+        assert set(summary) == {4, 16}  # quick default sweep
+        for n_cores, row in summary.items():
+            assert row["mean_saving"] > 0.0
+            assert 0.0 <= row["mean_violation_rate"] <= 1.0
+            full = row["dp_operations_full_rebuild"]
+            incr = row["dp_operations_incremental"]
+            assert incr < full
+        # the incremental advantage grows with core count...
+        r4 = summary[4]["dp_operations_full_rebuild"] / summary[4][
+            "dp_operations_incremental"
+        ]
+        r16 = summary[16]["dp_operations_full_rebuild"] / summary[16][
+            "dp_operations_incremental"
+        ]
+        assert r16 > r4 >= 2.0
+        # ...and the sweep honours explicit core counts
+        import dataclasses
+
+        cfg32 = dataclasses.replace(quick_cfg, scaling_core_counts=(4,))
+        res32 = run_experiment("ext-scaling", cfg32)
+        assert set(res32.data["summary"]) == {4}
+
     def test_fig9_quick(self, quick_cfg):
         res = run_experiment("fig9", quick_cfg)
         per_model = res.data["summary"][4]
@@ -102,6 +129,7 @@ class TestRunner:
         assert set(EXPERIMENTS) == {
             "table1", "table2", "fig1", "fig2", "fig6", "fig7", "fig8",
             "fig9", "overheads", "ext-sensitivity", "ext-alpha",
+            "ext-scaling",
         }
 
     def test_unknown_experiment(self):

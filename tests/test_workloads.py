@@ -4,6 +4,7 @@ import pytest
 
 from repro.workloads.categories import Category, CategoryThresholds, classify_app
 from repro.workloads.mixes import (
+    SCENARIO_TEMPLATES,
     coverage,
     generate_covering_workloads,
     generate_workloads,
@@ -11,10 +12,12 @@ from repro.workloads.mixes import (
 from repro.workloads.scenarios import (
     PAPER_SCENARIO_WEIGHTS,
     SCENARIO_CELLS,
+    TEMPLATE_CELLS,
     category_counts_from,
     category_probabilities,
     cell_probability_table,
     scenario_of_pair,
+    scenario_template_weights,
     scenario_weights,
 )
 
@@ -171,9 +174,67 @@ class TestMixes:
         with pytest.raises(ValueError):
             generate_workloads(cats, 5, 4, 1)
         with pytest.raises(ValueError):
-            generate_workloads(cats, 1, 3, 1)  # odd core count
+            generate_workloads(cats, 1, 1, 1)  # a pair needs two cores
         with pytest.raises(ValueError):
             generate_workloads(cats, 1, 4, 0)
+
+    def test_arbitrary_core_counts(self):
+        """The generalised construction: any n >= 2, odd included."""
+        cats = self.fake_categories()
+        for n in (2, 3, 5, 7, 16, 32):
+            mixes = generate_workloads(cats, 1, n, 4, seed=3)
+            assert all(len(m.apps) == n for m in mixes)
+            # the App2 constraint holds for the floor(n/2) tail
+            for mix in mixes:
+                tail = [cats[a] for a in mix.apps[n - n // 2 :]]
+                assert all(
+                    c in (Category.CS_PS, Category.CS_PI) for c in tail
+                )
+
+    def test_odd_split_gives_extra_core_to_app1(self):
+        cats = self.fake_categories()
+        for mix in generate_workloads(cats, 4, 5, 6, seed=9):
+            # scenario 4 is all CI-PI, so check the draw structure via
+            # label/shape only: 3 App1 + 2 App2 draws
+            assert len(mix.apps) == 5
+
+    def test_even_counts_unchanged_by_generalisation(self):
+        """The ceil/floor split degenerates to half/half at even n, so
+        the paper-scale 4/8-core mixes keep their exact composition
+        (draw-for-draw RNG consumption)."""
+        cats = self.fake_categories()
+        mixes = generate_workloads(cats, 2, 4, 3, seed=5)
+        for mix in mixes:
+            assert all(
+                cats[a] in (Category.CI_PI, Category.CS_PI)
+                for a in mix.apps[:2]
+            )
+            assert all(cats[a] is Category.CS_PI for a in mix.apps[2:])
+
+    def test_scenario_template_weights_derivation(self):
+        """The hardcoded Scenario 1 template weights are the cell-mass
+        derivation rounded to 3 decimals; the other scenarios are
+        degenerate single-template draws."""
+        from repro.workloads.suite import TABLE2_CATEGORIES
+
+        counts = category_counts_from(TABLE2_CATEGORIES)
+        derived = scenario_template_weights(counts, 1)
+        hardcoded = SCENARIO_TEMPLATES[1].weights
+        assert len(derived) == len(hardcoded) == 2
+        for d, h in zip(derived, hardcoded):
+            assert d == pytest.approx(h, abs=1e-3)
+        for scenario in (2, 3, 4):
+            assert scenario_template_weights(counts, scenario) == (1.0,)
+        with pytest.raises(ValueError):
+            scenario_template_weights(counts, 9)
+
+    def test_template_cells_partition_scenario_cells(self):
+        key = lambda cell: sorted(c.value for c in cell)
+        for scenario, groups in TEMPLATE_CELLS.items():
+            covered = [cell for group in groups for cell in group]
+            assert sorted(covered, key=key) == sorted(
+                SCENARIO_CELLS[scenario], key=key
+            )
 
     def test_missing_category_rejected(self):
         with pytest.raises(ValueError):

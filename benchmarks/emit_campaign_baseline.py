@@ -1,95 +1,21 @@
-"""Regenerate ``BENCH_campaign.json``, the end-to-end campaign baseline.
+"""Regenerate ``BENCH_campaign.json`` — wrapper around ``repro.bench``.
 
-Runs the campaign benchmark file under pytest-benchmark, distils the
-result into a small stable JSON (mean seconds per benchmark plus the plan
-shape and environment facts that matter for interpreting them), and
-writes it to the repo root.  Future PRs re-run this to extend the perf
-trajectory.
+Equivalent to::
 
-Usage::
+    PYTHONPATH=src python -m repro bench --emit campaign
 
-    PYTHONPATH=src python benchmarks/emit_campaign_baseline.py
+The implementation lives in :mod:`repro.bench`.
 """
 
 from __future__ import annotations
 
-import json
 import os
-import platform
-import subprocess
 import sys
-import tempfile
 from pathlib import Path
 
-REPO_ROOT = Path(__file__).resolve().parent.parent
-OUT_PATH = REPO_ROOT / "BENCH_campaign.json"
-
-
-def main() -> int:
-    with tempfile.TemporaryDirectory() as tmp:
-        raw_path = Path(tmp) / "bench.json"
-        proc = subprocess.run(
-            [
-                sys.executable,
-                "-m",
-                "pytest",
-                str(REPO_ROOT / "benchmarks" / "test_bench_campaign.py"),
-                "-q",
-                "--benchmark-json",
-                str(raw_path),
-            ],
-            cwd=REPO_ROOT,
-        )
-        if proc.returncode != 0:
-            return proc.returncode
-        raw = json.loads(raw_path.read_text())
-
-    benches = {}
-    for entry in raw["benchmarks"]:
-        record = {
-            "mean_s": entry["stats"]["mean"],
-            "rounds": entry["stats"]["rounds"],
-        }
-        record.update(entry.get("extra_info", {}))
-        benches[entry["name"]] = record
-
-    serial = benches.get("test_bench_campaign_all_quick_serial", {})
-    workers2 = benches.get("test_bench_campaign_all_quick_workers2", {})
-    warm = benches.get("test_bench_campaign_all_quick_warm", {})
-    summary = {}
-    if serial.get("mean_s") and workers2.get("mean_s"):
-        summary["workers2_speedup_vs_serial"] = round(
-            serial["mean_s"] / workers2["mean_s"], 2
-        )
-    if serial.get("mean_s") and warm.get("mean_s"):
-        summary["warm_cache_speedup_vs_cold"] = round(
-            serial["mean_s"] / warm["mean_s"], 2
-        )
-    if serial.get("planned_runs") and serial.get("unique_runs"):
-        summary["dedupe_runs_saved"] = (
-            serial["planned_runs"] - serial["unique_runs"]
-        )
-
-    OUT_PATH.write_text(
-        json.dumps(
-            {
-                "description": "Campaign benchmark baseline "
-                "(benchmarks/test_bench_campaign.py; `all --quick` "
-                "end-to-end)",
-                "python": platform.python_version(),
-                "machine": platform.machine(),
-                "cpu_count": os.cpu_count(),
-                "campaign_summary": summary,
-                "benchmarks": benches,
-            },
-            indent=2,
-            sort_keys=True,
-        )
-        + "\n"
-    )
-    print(f"wrote {OUT_PATH}")
-    return 0
-
-
 if __name__ == "__main__":
-    raise SystemExit(main())
+    sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+    os.environ.setdefault("PYTHONPATH", "src")
+    from repro.bench import emit_campaign
+
+    raise SystemExit(emit_campaign())

@@ -1,94 +1,23 @@
-"""Regenerate ``BENCH_decision.json``, the decision-kernel perf baseline.
+"""Regenerate ``BENCH_decision.json`` — wrapper around ``repro.bench``.
 
-Runs the decision benchmarks under pytest-benchmark, distils the result
-into a small stable JSON — per-``observe`` latency at every swept core
-count in both reduction modes, plus the incremental speedup and the
-deterministic DP-cell counts — and writes it to the repo root.  Future
-PRs re-run this to extend the perf trajectory.
+Equivalent to::
 
-Usage::
+    PYTHONPATH=src python -m repro bench --emit decision
 
-    PYTHONPATH=src python benchmarks/emit_decision_baseline.py
+The implementation (pytest-benchmark run, distillation, environment
+block with git commit and kernel knobs, pinned-first leaf-order delta)
+lives in :mod:`repro.bench`.
 """
 
 from __future__ import annotations
 
-import json
 import os
-import platform
-import subprocess
 import sys
-import tempfile
 from pathlib import Path
 
-REPO_ROOT = Path(__file__).resolve().parent.parent
-OUT_PATH = REPO_ROOT / "BENCH_decision.json"
-
-
-def main() -> int:
-    with tempfile.TemporaryDirectory() as tmp:
-        raw_path = Path(tmp) / "bench.json"
-        proc = subprocess.run(
-            [
-                sys.executable,
-                "-m",
-                "pytest",
-                str(REPO_ROOT / "benchmarks" / "test_bench_decision.py"),
-                "-q",
-                "--benchmark-json",
-                str(raw_path),
-            ],
-            cwd=REPO_ROOT,
-        )
-        if proc.returncode != 0:
-            return proc.returncode
-        raw = json.loads(raw_path.read_text())
-
-    per_mode: dict = {}
-    for entry in raw["benchmarks"]:
-        info = entry.get("extra_info", {})
-        if "reduction" not in info:
-            continue
-        n = int(info["n_cores"])
-        observe_s = entry["stats"]["mean"] / info["observes_per_round"]
-        per_mode.setdefault(info["reduction"], {})[n] = {
-            "observe_us": observe_s * 1e6,
-            "dp_operations": info["dp_operations"],
-            "local_evaluations": info["local_evaluations"],
-        }
-
-    speedups = {}
-    for n, full in sorted(per_mode.get("full_rebuild", {}).items()):
-        incr = per_mode.get("incremental", {}).get(n)
-        if incr:
-            speedups[str(n)] = {
-                "observe_speedup": full["observe_us"] / incr["observe_us"],
-                "dp_ratio": full["dp_operations"] / max(incr["dp_operations"], 1),
-            }
-
-    payload = {
-        "environment": {
-            "python": platform.python_version(),
-            "machine": platform.machine(),
-            "cpu_count": os.cpu_count(),
-        },
-        "modes": {
-            mode: {str(n): rec for n, rec in sorted(rows.items())}
-            for mode, rows in per_mode.items()
-        },
-        "incremental_vs_full_rebuild": speedups,
-    }
-    OUT_PATH.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
-    print(f"wrote {OUT_PATH}")
-    top = speedups.get("32")
-    if top:
-        print(
-            f"32-core observe: {top['observe_speedup']:.2f}x faster "
-            f"incremental vs full rebuild (dp ratio {top['dp_ratio']:.1f}x)"
-        )
-    return 0
-
-
 if __name__ == "__main__":
+    sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
     os.environ.setdefault("PYTHONPATH", "src")
-    raise SystemExit(main())
+    from repro.bench import emit_decision
+
+    raise SystemExit(emit_decision())

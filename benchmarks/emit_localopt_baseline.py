@@ -1,8 +1,8 @@
-"""Regenerate ``BENCH_substrate.json`` — wrapper around ``repro.bench``.
+"""Regenerate ``BENCH_localopt.json`` — wrapper around ``repro.bench``.
 
 Equivalent to::
 
-    PYTHONPATH=src python -m repro bench --emit substrate
+    PYTHONPATH=src python -m repro bench --emit localopt
 
 The implementation lives in :mod:`repro.bench`.
 """
@@ -16,6 +16,6 @@ from pathlib import Path
 if __name__ == "__main__":
     sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
     os.environ.setdefault("PYTHONPATH", "src")
-    from repro.bench import emit_substrate
+    from repro.bench import emit_localopt
 
-    raise SystemExit(emit_substrate())
+    raise SystemExit(emit_localopt())

@@ -23,7 +23,7 @@ from repro.campaign import clear_result_memo
 from repro.experiments.common import ExperimentConfig
 from repro.experiments.runner import plan_all, run_all
 
-N_EXPERIMENTS = 12
+N_EXPERIMENTS = 13
 
 
 @pytest.fixture(autouse=True)

@@ -52,6 +52,30 @@ class ATDReport:
         """LM(w) for one core size (nominal scale)."""
         return self.mlp.leading_misses[size_index]
 
+    @property
+    def fingerprint(self) -> str:
+        """Content hash of everything a model can read from this report.
+
+        Two reports with equal fingerprints are bit-identical inputs, so
+        any pure function of a report (e.g. a memoized local-optimisation
+        result) may be shared between them.  Cached on first use — the
+        interval-recurring reports the simulator hands out are hashed
+        exactly once.
+        """
+        cached = self.__dict__.get("_fingerprint")
+        if cached is None:
+            import hashlib
+            import struct
+
+            h = hashlib.blake2b(digest_size=16)
+            h.update(np.ascontiguousarray(self.miss_curve).tobytes())
+            h.update(np.ascontiguousarray(self.mlp.leading_misses).tobytes())
+            h.update(np.ascontiguousarray(self.mlp.total_misses).tobytes())
+            h.update(struct.pack("<dd", self.mlp.scale, self.accesses))
+            cached = h.hexdigest()
+            object.__setattr__(self, "_fingerprint", cached)
+        return cached
+
 
 class AuxiliaryTagDirectory:
     """Shadow tag directory + monitors for a single core.

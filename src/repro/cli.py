@@ -9,16 +9,20 @@ Usage::
     python -m repro all --quick --workers 4   # ... across 4 processes
     python -m repro all --quick --csv-dir out # ... persisting CSV tables
     python -m repro fig6 --seed 7 --workloads 3 --cores 4
-    python -m repro ext-scaling --scaling-cores 16 32   # kernel sweep
+    python -m repro ext-scaling --scaling-cores 16 64   # kernel sweep
     python -m repro cache                  # result-store stats
     python -m repro cache --prune --max-mb 256   # LRU-evict to 256 MiB
+    python -m repro bench --emit localopt  # regenerate one BENCH_*.json
+    python -m repro bench --emit all       # ... or every baseline
+    python -m repro bench --check localopt # CI smoke: no perf collapse
 
 Every experiment plans its simulations through the campaign engine;
 ``all`` merges the plans so shared runs simulate exactly once.  The
 ``--workers`` flag (or ``REPRO_CAMPAIGN_WORKERS``) fans unique runs out
 over a process pool — results are bit-identical for any worker count.
 The ``cache`` subcommand manages the on-disk result store named by
-``REPRO_RESULT_CACHE`` (cap: ``REPRO_RESULT_CACHE_MAX_MB``).
+``REPRO_RESULT_CACHE`` (cap: ``REPRO_RESULT_CACHE_MAX_MB``); ``bench``
+consolidates the ``benchmarks/emit_*_baseline.py`` entry points.
 """
 
 from __future__ import annotations
@@ -51,7 +55,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "experiment",
-        help="experiment name, 'all', 'list', or 'cache'",
+        help="experiment name, 'all', 'list', 'cache', or 'bench'",
     )
     parser.add_argument("--quick", action="store_true", help="shrunk quick mode")
     parser.add_argument("--seed", type=int, default=2020)
@@ -89,6 +93,24 @@ def build_parser() -> argparse.ArgumentParser:
         help=(
             "with 'cache --prune': size cap override "
             "(default: REPRO_RESULT_CACHE_MAX_MB)"
+        ),
+    )
+    parser.add_argument(
+        "--emit",
+        default=None,
+        metavar="NAME",
+        help=(
+            "with 'bench': regenerate one BENCH_*.json baseline "
+            "(substrate|campaign|decision|localopt) or 'all'"
+        ),
+    )
+    parser.add_argument(
+        "--check",
+        default=None,
+        metavar="NAME",
+        help=(
+            "with 'bench': verify a baseline has not regressed beyond a "
+            "generous threshold (localopt)"
         ),
     )
     parser.add_argument(
@@ -152,6 +174,19 @@ def _cache_command(prune: bool, max_mb: float | None) -> int:
 
 def main(argv: Sequence[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
+    if args.experiment == "bench":
+        from repro.bench import main as bench_main
+
+        return bench_main(args.emit, args.check)
+    if args.emit is not None or args.check is not None:
+        # Fail fast instead of silently dropping the bench flags on the
+        # floor (worst case: launching a full experiment run instead).
+        print(
+            "--emit/--check require the 'bench' subcommand "
+            f"(got {args.experiment!r})",
+            file=sys.stderr,
+        )
+        return 2
     if args.experiment == "list":
         print("available experiments:")
         for name in EXPERIMENTS:

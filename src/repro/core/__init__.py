@@ -6,7 +6,10 @@
 * :mod:`repro.core.energy_model` — the online energy model (Eq. 4-5).
 * :mod:`repro.core.qos` — the QoS predicate (Eq. 3).
 * :mod:`repro.core.local_opt` — per-core optimisation producing
-  ``c*(w), f*(w)`` and the energy curve ``E(w)``.
+  ``c*(w), f*(w)`` and the energy curve ``E(w)`` (fused kernel, batched
+  entry point, unfused reference oracle).
+* :mod:`repro.core.local_cache` — phase-level memoization of local
+  results (the ``local_mode="memoized"`` layer).
 * :mod:`repro.core.energy_curve` / :mod:`repro.core.global_opt` — the
   recursive pairwise curve reduction allocating LLC ways across cores.
 * :mod:`repro.core.managers` — RM1 (w), RM2 (w+f), RM3 (w+f+c) and the
@@ -24,10 +27,18 @@ from repro.core.perf_models import (
 )
 from repro.core.energy_model import OnlineEnergyModel
 from repro.core.qos import QoSPolicy, violation_magnitude
-from repro.core.local_opt import LocalOptResult, RMCapabilities, optimize_local
+from repro.core.local_cache import LocalOptMemo
+from repro.core.local_opt import (
+    LocalOptKernel,
+    LocalOptResult,
+    RMCapabilities,
+    optimize_local,
+    optimize_local_batch,
+)
 from repro.core.energy_curve import EnergyCurve
 from repro.core.global_opt import GlobalOptResult, ReductionTree, partition_ways
 from repro.core.managers import (
+    LOCAL_MODES,
     REDUCTION_MODES,
     RM1,
     RM2,
@@ -49,11 +60,15 @@ __all__ = [
     "QoSPolicy",
     "violation_magnitude",
     "RMCapabilities",
+    "LocalOptKernel",
+    "LocalOptMemo",
     "LocalOptResult",
     "optimize_local",
+    "optimize_local_batch",
     "EnergyCurve",
     "GlobalOptResult",
     "ReductionTree",
+    "LOCAL_MODES",
     "REDUCTION_MODES",
     "partition_ways",
     "ResourceManager",

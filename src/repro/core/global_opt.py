@@ -210,13 +210,48 @@ class ReductionTree:
     Operation accounting: the constructor charges the initial build to
     :attr:`build_operations`; :meth:`update` and :meth:`solve` return the
     cells they actually touched.  Summed per invocation this is the
-    ``dp_operations`` of the incremental accounting mode.
+    ``dp_operations`` of the incremental accounting mode.  When a caller
+    knows a leaf's curve is unchanged it may skip the recombine entirely
+    and charge :meth:`path_operations` instead — the exact cell count
+    :meth:`update` would have reported.
+
+    ``order="pinned_first"`` reorders the *leaf placement* at build time
+    so degenerate single-point (pinned) curves pair with each other
+    before any real curve joins: their combines cost one cell each and
+    stay single-point all the way up.  Extraction un-permutes, so callers
+    always receive allocations in the order the curves were given.
+    Pinned curves are exact identity elements of the (min,+) combine
+    (they add 0.0 J and a fixed way shift), so with at most two real
+    curves the reordered tree is bit-identical to the natural order;
+    with three or more real curves the float *association* of their sums
+    changes, which is why the resource managers keep the natural order
+    (their stateless ``full_rebuild`` reference could no longer be
+    matched bit for bit) and the option is exercised by warm-up-shaped
+    workloads (one fresh curve, the rest pinned) where it is provably
+    exact.
     """
 
-    def __init__(self, curves: Sequence[EnergyCurve]):
+    def __init__(self, curves: Sequence[EnergyCurve], order: str = "natural"):
         if not curves:
             raise ValueError("need at least one curve")
-        self._leaves = [_Node(curve=c) for c in curves]
+        if order not in ("natural", "pinned_first"):
+            raise ValueError(
+                f"unknown leaf order {order!r}; options: natural, pinned_first"
+            )
+        self.order = order
+        if order == "pinned_first":
+            # Stable partition: single-point curves first, everything else
+            # after, both in their original relative order.
+            perm = sorted(
+                range(len(curves)), key=lambda i: curves[i].energy.size > 1
+            )
+        else:
+            perm = list(range(len(curves)))
+        #: tree-leaf position -> caller index (extraction un-permutes).
+        self._perm = perm
+        self._leaves = [_Node(curve=curves[i]) for i in perm]
+        #: caller index -> tree-leaf position (update re-permutes).
+        self._leaf_of = {orig: pos for pos, orig in enumerate(perm)}
         self._root = _pair_up(list(self._leaves))
         self._internal = _internal_bottom_up(self._root)
         ops = 0
@@ -225,6 +260,8 @@ class ReductionTree:
                 ops += _combine_node(node)
         #: Cells touched building every non-root combine once.
         self.build_operations = ops
+        self._w_min_total = sum(c.w_min for c in curves)
+        self._w_max_total = sum(c.w_max for c in curves)
 
     @property
     def n_leaves(self) -> int:
@@ -232,23 +269,44 @@ class ReductionTree:
 
     @property
     def w_min_total(self) -> int:
-        return sum(leaf.curve.w_min for leaf in self._leaves)
+        return self._w_min_total
 
     @property
     def w_max_total(self) -> int:
-        return sum(leaf.curve.w_max for leaf in self._leaves)
+        return self._w_max_total
 
     def leaf_curve(self, index: int) -> EnergyCurve:
-        return self._leaves[index].curve
+        return self._leaves[self._leaf_of[index]].curve
 
     def update(self, index: int, curve: EnergyCurve) -> int:
         """Replace one leaf's curve; recombine its path; return ops."""
-        leaf = self._leaves[index]
+        leaf = self._leaves[self._leaf_of[index]]
+        old = leaf.curve
         leaf.curve = curve
+        self._w_min_total += curve.w_min - old.w_min
+        self._w_max_total += curve.w_max - old.w_max
         ops = 0
         node = leaf.parent
         while node is not None and node is not self._root:
             ops += _combine_node(node)
+            node = node.parent
+        return ops
+
+    def path_operations(self, index: int) -> int:
+        """Cells :meth:`update` would charge for ``index`` — without work.
+
+        The combine cost of a node is the product of its children's
+        current curve widths, so the whole leaf-to-root bill is known
+        without recombining anything.  Callers that can prove a leaf's
+        curve is unchanged (e.g. a memoized local result feeding the same
+        curve object back) charge this instead of re-running
+        :meth:`update`, keeping ``dp_operations`` identical between the
+        skipped and the recomputed path.
+        """
+        ops = 0
+        node = self._leaves[self._leaf_of[index]].parent
+        while node is not None and node is not self._root:
+            ops += node.left.curve.energy.size * node.right.curve.energy.size
             node = node.parent
         return ops
 
@@ -295,7 +353,12 @@ class ReductionTree:
             out: List[int] = []
             _backtrack(root.left, wa, out)
             _backtrack(root.right, total_ways - wa, out)
-            return out
+            if self.order == "natural":
+                return out
+            unpermuted = [0] * len(out)
+            for pos, orig in enumerate(self._perm):
+                unpermuted[orig] = out[pos]
+            return unpermuted
 
         return float(total), int(sums.size), extract
 

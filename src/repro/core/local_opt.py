@@ -10,11 +10,30 @@ minimum-predicted-energy pair that satisfies QoS, producing
 
 RM1 may move neither f nor c (curve points are baseline-setting energies);
 RM2 searches f only (the prior-work framework); RM3 searches both.
+
+Three implementations share one contract and are differentially tested
+bit-identical:
+
+* :func:`optimize_local` — the unfused reference: performance-model time
+  grid, energy-model grid, feasibility mask and masked argmin as four
+  separate passes with fresh allocations.  Kept as the differential
+  oracle (the replay engine's ``LRUStack`` pattern).
+* :class:`LocalOptKernel` — the fused hot path the resource managers
+  run: per-(system, capabilities) constants (the capability mask, way
+  index window, dispatch widths, frequency/voltage ladders, static-power
+  table) are hoisted at construction and the whole grid pipeline runs
+  through preallocated scratch buffers — element for element the same
+  arithmetic, so results are bit-identical while the per-invocation
+  allocations drop to the small per-way output arrays.
+* :func:`optimize_local_batch` — many (inputs, qos) pairs stacked into
+  one 4-D ``(batch, core size, frequency, ways)`` tensor pass, for
+  warm-up waves, analysis sweeps and database-side precomputation.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import List, Sequence
 
 import numpy as np
 
@@ -22,9 +41,16 @@ from repro.config import CoreSize, Setting, SystemConfig
 from repro.core.energy_curve import EnergyCurve
 from repro.core.energy_model import OnlineEnergyModel
 from repro.core.perf_models import ModelInputs, PerformanceModel
+from repro.core import qos as _qos_mod
 from repro.core.qos import QoSPolicy
 
-__all__ = ["RMCapabilities", "LocalOptResult", "optimize_local"]
+__all__ = [
+    "RMCapabilities",
+    "LocalOptResult",
+    "LocalOptKernel",
+    "optimize_local",
+    "optimize_local_batch",
+]
 
 
 @dataclass(frozen=True)
@@ -142,3 +168,338 @@ def optimize_local(
         predicted_baseline_time=t_base,
         evaluations=int(np.count_nonzero(allowed[:, :, w_idx])),
     )
+
+
+def _overrides_time_grid(model: PerformanceModel) -> bool:
+    """Whether the model replaces Eq. 1's fused form (the Perfect oracle)."""
+    return type(model).predict_time_grid is not PerformanceModel.predict_time_grid
+
+
+class LocalOptKernel:
+    """Fused, scratch-buffered local optimisation for one manager.
+
+    One kernel is built per (performance model, energy model, system,
+    capabilities) — exactly a resource manager's lifetime constants — and
+    reused for every invocation.  Hoisted at construction: the
+    capability-restricted (c, f) plane, the candidate-way window, the
+    dispatch widths, the frequency/voltage ladders and the static-power
+    table; preallocated: the time grid, energy grid and feasibility
+    scratch plus the flattened argmin plane.  :meth:`run` is bit-identical
+    to :func:`optimize_local` (differentially tested): it performs the
+    same floating-point operations on the same operands in the same
+    order, only without re-deriving constants or allocating grids.
+    """
+
+    def __init__(
+        self,
+        perf_model: PerformanceModel,
+        energy_model: OnlineEnergyModel,
+        system: SystemConfig,
+        caps: RMCapabilities,
+    ):
+        self.perf_model = perf_model
+        self.energy_model = energy_model
+        self.system = system
+        self.caps = caps
+
+        self._baseline = system.baseline_setting()
+        sizes = CoreSize.all()
+        self._n_sizes = len(sizes)
+        # The energy model's memoized per-system constants (shared, not
+        # recomputed): ladder frequencies, voltages, size factors and the
+        # static-power table.
+        freqs, volts, size_factors, static_power = (
+            energy_model._system_constants(system)
+        )
+        self._freqs = freqs
+        self._volts = volts
+        self._size_factors = size_factors
+        self._static_power = static_power
+        self._n_freqs = freqs.size
+        self._freqs_hz = freqs * 1e9
+        from repro.core.perf_models import _dispatch_widths
+
+        self._widths = _dispatch_widths()
+        self._base_ci = int(self._baseline.core)
+        self._base_fi = system.dvfs.index_of(self._baseline.f_ghz)
+        self._base_wi = self._baseline.ways - 1
+        self._dyn_size_factor = dict(system.power.dyn_size_factor)
+        self._dram_j = energy_model.power.dram_access_energy_j()
+        self._llc_j = energy_model.power.llc_access_energy_j()
+
+        ways = np.array(system.candidate_ways())
+        if ways.size == 0 or np.any(np.diff(ways) != 1):
+            raise ValueError("candidate ways must be a contiguous range")
+        self._ways = ways
+        self._w_idx = ways - 1  # grid axis is 1-based ways
+        self._n_w = ways.size
+        self._w_slice = slice(int(self._w_idx[0]), int(self._w_idx[-1]) + 1)
+        # Records and ATD reports hold the full 1..w_max way axis.
+        self._n_grid_w = system.cache.w_max
+
+        # Capability mask over the (c, f) plane (way-invariant), plus the
+        # constant evaluation charge the reference derives from it.
+        allowed_cf = np.ones((self._n_sizes, self._n_freqs), dtype=bool)
+        if not caps.adapt_core:
+            row = np.zeros(self._n_sizes, dtype=bool)
+            row[self._base_ci] = True
+            allowed_cf &= row[:, None]
+        if not caps.adapt_frequency:
+            col = np.zeros(self._n_freqs, dtype=bool)
+            col[self._base_fi] = True
+            allowed_cf &= col[None, :]
+        self._allowed_cf3 = allowed_cf[:, :, None]
+        self.evaluations = int(np.count_nonzero(allowed_cf)) * self._n_w
+
+        shape = (self._n_sizes, self._n_freqs, self._n_grid_w)
+        self._T = np.empty(shape)
+        self._E = np.empty(shape)
+        self._F = np.empty(shape, dtype=bool)
+        self._cc = np.empty(self._n_sizes)
+        self._plane = np.empty((self._n_sizes * self._n_freqs, self._n_w))
+        self._plane3 = self._plane.reshape(
+            self._n_sizes, self._n_freqs, self._n_w
+        )
+        self._best = np.empty(self._n_w, dtype=np.intp)
+        self._arange_w = np.arange(self._n_w)
+        self._fused_time = not _overrides_time_grid(perf_model)
+
+    # ------------------------------------------------------------------
+    def run(self, inputs: ModelInputs, qos: QoSPolicy | None = None) -> LocalOptResult:
+        """One local optimisation, fused; bit-identical to the reference."""
+        qos = qos or QoSPolicy(self.system.qos_alpha)
+        counters = inputs.counters
+        system = self.system
+
+        # --- time grid (Eq. 1) ---------------------------------------
+        if self._fused_time:
+            T = self._T
+            tmem = self.perf_model.memory_time_grid(inputs, system)
+            d_i = self._widths[int(counters.setting.core)]
+            cc = self._cc
+            np.divide(d_i, self._widths, out=cc)
+            cc *= counters.t0_cycles
+            cc += counters.t1_cycles
+            np.divide(cc[:, None, None], self._freqs_hz[None, :, None], out=T)
+            T += tmem[:, None, :]
+        else:
+            # The Perfect oracle substitutes ground truth wholesale; use
+            # its grid read-only (never written: it may be the record's).
+            T = np.asarray(self.perf_model.predict_time_grid(inputs, system))
+
+        # --- energy grid (Eq. 4-5) -----------------------------------
+        E = self._E
+        n = counters.n_instructions
+        v_i = system.dvfs.voltage(counters.setting.f_ghz)
+        epi_sampled = counters.core_dynamic_j / max(n, 1.0)
+        f_cur = self._dyn_size_factor[counters.setting.core]
+        e_dyn = (
+            epi_sampled
+            * (self._size_factors / f_cur)[:, None]
+            * (self._volts[None, :] / v_i) ** 2
+        ) * n  # (n_sizes, n_freqs)
+        np.multiply(self._static_power[:, :, None], T, out=E)
+        np.add(e_dyn[:, :, None], E, out=E)
+        miss_curve = np.asarray(inputs.atd.miss_curve, dtype=float)
+        if miss_curve.size != self._n_grid_w:
+            raise ValueError("ATD miss curve length mismatch with grid")
+        dm = miss_curve - miss_curve[counters.setting.ways - 1]
+        e_mem = (
+            np.clip(counters.misses_current + dm, 0.0, None) * self._dram_j
+            + inputs.atd.accesses * self._llc_j
+        )
+        np.add(E, e_mem[None, None, :], out=E)
+
+        # --- feasibility + capability mask ---------------------------
+        t_base = float(T[self._base_ci, self._base_fi, self._base_wi])
+        if t_base <= 0:
+            raise ValueError("baseline prediction must be positive")
+        bound = t_base * qos.alpha
+        F = self._F
+        np.less_equal(T, bound * (1.0 + _qos_mod._RTOL), out=F)
+        np.logical_and(F, self._allowed_cf3, out=F)
+        np.logical_not(F, out=F)  # F is now ~candidate
+        np.copyto(E, np.inf, where=F)
+
+        # --- masked argmin over the (c, f) plane per way -------------
+        np.copyto(self._plane3, E[:, :, self._w_slice])
+        plane = self._plane
+        np.argmin(plane, axis=0, out=self._best)
+        best = self._best
+        best_energy = plane[best, self._arange_w]
+        finite = np.isfinite(best_energy)
+        ci, fi = np.unravel_index(best, (self._n_sizes, self._n_freqs))
+
+        c_star = np.full(self._n_w, self._base_ci, dtype=int)
+        f_star = np.full(self._n_w, self._baseline.f_ghz, dtype=float)
+        t_hat = np.full(self._n_w, np.inf)
+        e_curve = np.full(self._n_w, np.inf)
+        c_star[finite] = ci[finite]
+        f_star[finite] = self._freqs[fi[finite]]
+        e_curve[finite] = best_energy[finite]
+        t_hat[finite] = T[ci[finite], fi[finite], self._w_idx[finite]]
+
+        return LocalOptResult(
+            curve=EnergyCurve(self._ways, e_curve),
+            c_star=c_star,
+            f_star=f_star,
+            t_hat=t_hat,
+            predicted_baseline_time=t_base,
+            evaluations=self.evaluations,
+        )
+
+
+def optimize_local_batch(
+    inputs_batch: Sequence[ModelInputs],
+    perf_model: PerformanceModel,
+    energy_model: OnlineEnergyModel,
+    system: SystemConfig,
+    caps: RMCapabilities,
+    qos: QoSPolicy | Sequence[QoSPolicy] | None = None,
+) -> List[LocalOptResult]:
+    """Local optimisation for many inputs in one 4-D tensor pass.
+
+    Stacks every (record, setting) observation into ``(batch, core size,
+    frequency, ways)`` tensors so warm-up waves, analysis sweeps and
+    database-side precomputation pay one NumPy dispatch per pipeline
+    stage instead of one per observation.  Element for element the
+    arithmetic is :func:`optimize_local`'s, so each returned result is
+    bit-identical to the equivalent scalar call (differentially tested).
+
+    ``qos`` may be a single policy shared by the batch, one policy per
+    input, or None for the system default.
+    """
+    batch = list(inputs_batch)
+    nb = len(batch)
+    if nb == 0:
+        return []
+    if qos is None:
+        policies = [QoSPolicy(system.qos_alpha)] * nb
+    elif isinstance(qos, QoSPolicy):
+        policies = [qos] * nb
+    else:
+        policies = list(qos)
+        if len(policies) != nb:
+            raise ValueError("qos sequence length must match the batch")
+
+    baseline = system.baseline_setting()
+    sizes = CoreSize.all()
+    n_sizes = len(sizes)
+    freqs, volts, size_factors, static_power = (
+        energy_model._system_constants(system)
+    )
+    n_freqs = freqs.size
+    freqs_hz = freqs * 1e9
+    from repro.core.perf_models import _dispatch_widths
+
+    widths = _dispatch_widths()
+    base_ci = int(baseline.core)
+    base_fi = system.dvfs.index_of(baseline.f_ghz)
+    base_wi = baseline.ways - 1
+
+    # --- time grids ---------------------------------------------------
+    if _overrides_time_grid(perf_model):
+        T = np.stack(
+            [np.asarray(perf_model.predict_time_grid(i, system)) for i in batch]
+        )
+    else:
+        t0s = np.array([i.counters.t0_cycles for i in batch])
+        t1s = np.array([i.counters.t1_cycles for i in batch])
+        d_is = np.array(
+            [widths[int(i.counters.setting.core)] for i in batch]
+        )
+        tmem = np.stack(
+            [perf_model.memory_time_grid(i, system) for i in batch]
+        )  # (nb, n_sizes, n_grid_w)
+        cc = t0s[:, None] * (d_is[:, None] / widths[None, :]) + t1s[:, None]
+        T = cc[:, :, None, None] / freqs_hz[None, None, :, None]
+        T = T + tmem[:, :, None, :]
+    n_grid_w = T.shape[-1]
+
+    # --- energy grids -------------------------------------------------
+    ns = np.array([i.counters.n_instructions for i in batch])
+    v_is = np.array(
+        [system.dvfs.voltage(i.counters.setting.f_ghz) for i in batch]
+    )
+    epi_sampled = np.array(
+        [i.counters.core_dynamic_j / max(i.counters.n_instructions, 1.0) for i in batch]
+    )
+    f_curs = np.array(
+        [system.power.dyn_size_factor[i.counters.setting.core] for i in batch]
+    )
+    epi = (
+        epi_sampled[:, None, None]
+        * (size_factors[None, :, None] / f_curs[:, None, None])
+        * (volts[None, None, :] / v_is[:, None, None]) ** 2
+    )  # (nb, n_sizes, n_freqs)
+    e_dyn = epi * ns[:, None, None]
+    miss_curves = np.stack(
+        [np.asarray(i.atd.miss_curve, dtype=float) for i in batch]
+    )
+    if miss_curves.shape[1] != n_grid_w:
+        raise ValueError("ATD miss curve length mismatch with grid")
+    w_curs = np.array([i.counters.setting.ways - 1 for i in batch])
+    dm = miss_curves - miss_curves[np.arange(nb), w_curs][:, None]
+    mas = np.array([i.counters.misses_current for i in batch])
+    accs = np.array([i.atd.accesses for i in batch])
+    e_mem = (
+        np.clip(mas[:, None] + dm, 0.0, None)
+        * energy_model.power.dram_access_energy_j()
+        + accs[:, None] * energy_model.power.llc_access_energy_j()
+    )  # (nb, n_grid_w)
+    E = e_dyn[:, :, :, None] + static_power[None, :, :, None] * T
+    E = E + e_mem[:, None, None, :]
+
+    # --- feasibility + capability mask --------------------------------
+    t_bases = T[:, base_ci, base_fi, base_wi]
+    if np.any(t_bases <= 0):
+        raise ValueError("baseline prediction must be positive")
+    alphas = np.array([p.alpha for p in policies])
+    bounds = t_bases * alphas
+    feasible = T <= (bounds * (1.0 + _qos_mod._RTOL))[:, None, None, None]
+    allowed_cf = np.ones((n_sizes, n_freqs), dtype=bool)
+    if not caps.adapt_core:
+        row = np.zeros(n_sizes, dtype=bool)
+        row[base_ci] = True
+        allowed_cf &= row[:, None]
+    if not caps.adapt_frequency:
+        col = np.zeros(n_freqs, dtype=bool)
+        col[base_fi] = True
+        allowed_cf &= col[None, :]
+    candidate = feasible & allowed_cf[None, :, :, None]
+    masked = np.where(candidate, E, np.inf)
+
+    ways = np.array(system.candidate_ways())
+    w_idx = ways - 1
+    n_w = ways.size
+    evaluations = int(np.count_nonzero(allowed_cf)) * n_w
+
+    plane = masked[:, :, :, w_idx].reshape(nb, -1, n_w)
+    best = np.argmin(plane, axis=1)  # (nb, n_w)
+    best_energy = np.take_along_axis(plane, best[:, None, :], axis=1)[:, 0, :]
+    finite = np.isfinite(best_energy)
+    ci, fi = np.unravel_index(best, (n_sizes, n_freqs))
+    t_hats = T[np.arange(nb)[:, None], ci, fi, w_idx[None, :]]
+
+    results: List[LocalOptResult] = []
+    for b in range(nb):
+        c_star = np.full(n_w, base_ci, dtype=int)
+        f_star = np.full(n_w, baseline.f_ghz, dtype=float)
+        t_hat = np.full(n_w, np.inf)
+        e_curve = np.full(n_w, np.inf)
+        fin = finite[b]
+        c_star[fin] = ci[b][fin]
+        f_star[fin] = freqs[fi[b][fin]]
+        e_curve[fin] = best_energy[b][fin]
+        t_hat[fin] = t_hats[b][fin]
+        results.append(
+            LocalOptResult(
+                curve=EnergyCurve(ways, e_curve),
+                c_star=c_star,
+                f_star=f_star,
+                t_hat=t_hat,
+                predicted_baseline_time=float(t_bases[b]),
+                evaluations=evaluations,
+            )
+        )
+    return results

@@ -23,8 +23,26 @@ The global step runs in one of two *reduction modes*:
   repo before the persistent kernel) for the Section III-E overheads
   comparison.
 
-Both modes select bit-identical settings and predicted energies (the
-kernel differential tests assert it); only the charged work differs.
+The *local* step likewise runs in one of two modes:
+
+* ``"memoized"`` (default) — recurring phase statistics replay their
+  :class:`~repro.core.local_opt.LocalOptResult` from a per-manager LRU
+  (:class:`~repro.core.local_cache.LocalOptMemo`) keyed on the exact
+  content of the optimiser inputs; a hit skips the whole grid pipeline
+  — and, when the hit feeds the *same curve object* the reduction tree
+  already holds, the leaf-to-root recombine as well (the tree reports
+  the identical cell bill through ``path_operations``).
+* ``"always_recompute"`` — every observe runs the fused grid kernel.
+
+Accounting is mode-invariant by construction: a memo hit charges the
+same ``local_evaluations`` the replayed run paid and the same
+``dp_operations`` the recombine would have reported — the paper's RM
+executes the search either way; our memo only removes *simulator* work.
+
+All four mode combinations select bit-identical settings, predicted
+energies and violation histories (the kernel differential tests assert
+it); only wall-clock and, across *reduction* modes, the charged DP work
+differ.
 """
 
 from __future__ import annotations
@@ -37,7 +55,8 @@ import numpy as np
 from repro.config import Setting, SystemConfig
 from repro.core.energy_curve import EnergyCurve
 from repro.core.energy_model import OnlineEnergyModel
-from repro.core.local_opt import LocalOptResult, RMCapabilities, optimize_local
+from repro.core.local_cache import DEFAULT_CAPACITY, LocalOptMemo, local_memo_key
+from repro.core.local_opt import LocalOptKernel, LocalOptResult, RMCapabilities
 from repro.core.global_opt import ReductionTree, partition_ways
 from repro.core.perf_models import ModelInputs, PerformanceModel
 from repro.core.qos import QoSPolicy
@@ -52,10 +71,15 @@ __all__ = [
     "make_rm",
     "RMDecision",
     "REDUCTION_MODES",
+    "LOCAL_MODES",
 ]
 
 #: The two accounting/execution modes of the global curve reduction.
 REDUCTION_MODES = ("incremental", "full_rebuild")
+
+#: The two execution modes of the local optimisation (accounting is
+#: identical in both; only simulator wall-clock differs).
+LOCAL_MODES = ("memoized", "always_recompute")
 
 
 @dataclass(frozen=True)
@@ -102,6 +126,8 @@ class ResourceManager:
         qos: QoSPolicy | Mapping[int, QoSPolicy] | None = None,
         switch_threshold: float = 0.02,
         reduction: str = "incremental",
+        local_mode: str = "memoized",
+        local_memo_capacity: int = DEFAULT_CAPACITY,
     ):
         if switch_threshold < 0:
             raise ValueError("switch_threshold must be non-negative")
@@ -109,7 +135,12 @@ class ResourceManager:
             raise ValueError(
                 f"unknown reduction mode {reduction!r}; options: {REDUCTION_MODES}"
             )
+        if local_mode not in LOCAL_MODES:
+            raise ValueError(
+                f"unknown local mode {local_mode!r}; options: {LOCAL_MODES}"
+            )
         self.reduction = reduction
+        self.local_mode = local_mode
         self.system = system
         self.perf_model = perf_model
         self.capabilities = capabilities
@@ -154,10 +185,41 @@ class ResourceManager:
         self._settings_memo: List[Dict[int, Setting]] = [
             {} for _ in range(system.n_cores)
         ]
+        #: Fused local-optimisation kernel (scratch buffers + hoisted
+        #: constants); one per manager, reused by every invocation.
+        self._kernel = LocalOptKernel(
+            self.perf_model, self.energy_model, system, capabilities
+        )
+        #: Phase-level result memo (None in ``always_recompute`` mode).
+        self.local_memo: Optional[LocalOptMemo] = (
+            LocalOptMemo(local_memo_capacity) if local_mode == "memoized" else None
+        )
+        #: Per-core predicted energy at (its curve, its current ways) —
+        #: the summands of the hysteresis keep-energy check, refreshed
+        #: only when a core's curve or allocation actually changes.
+        #: ``None`` marks infeasible/out-of-domain (forces re-partition).
+        self._energy_at_current: List[Optional[float]] = [
+            self._curve_energy_at(c, self._current_ways[i])
+            for i, c in enumerate(self._curves)
+        ]
+        #: The settings map of the last decision; replayed as-is when an
+        #: invocation provably changes nothing (memo-hit invoker + the
+        #: hysteresis keep branch).  The simulator uses map *identity*
+        #: to skip its per-core setting diff entirely.
+        self._last_settings: Optional[Dict[int, Setting]] = None
 
     def _pinned_curves(self) -> List[EnergyCurve]:
         pinned = EnergyCurve.pinned(self.system.baseline_setting().ways)
         return [pinned] * self.system.n_cores
+
+    @staticmethod
+    def _curve_energy_at(curve: EnergyCurve, ways: int) -> Optional[float]:
+        if not curve.w_min <= ways <= curve.w_max:
+            return None
+        e = curve.energy[ways - curve.w_min]
+        if not np.isfinite(e):
+            return None
+        return float(e)
 
     # ------------------------------------------------------------------
     def observe(self, core_id: int, inputs: ModelInputs) -> RMDecision:
@@ -165,17 +227,18 @@ class ResourceManager:
 
         Returns the new per-core settings for the whole system.
         """
-        state = self._core_state(core_id)
-        result = optimize_local(
-            inputs,
-            self.perf_model,
-            self.energy_model,
-            self.system,
-            self.capabilities,
-            self.qos_for(core_id),
-        )
-        state.result = result
-        return self._reoptimize(core_id, invoker_evaluations=result.evaluations)
+        self._core_state(core_id)
+        qos = self.qos_for(core_id)
+        memo = self.local_memo
+        if memo is not None:
+            key = local_memo_key(inputs, self.perf_model, qos)
+            result = memo.get(key)
+            if result is None:
+                result = self._kernel.run(inputs, qos)
+                memo.put(key, result)
+        else:
+            result = self._kernel.run(inputs, qos)
+        return self._reoptimize(core_id, result)
 
     def qos_for(self, core_id: int) -> QoSPolicy:
         """The QoS policy governing one core's application."""
@@ -188,24 +251,49 @@ class ResourceManager:
             raise KeyError(f"unknown core {core_id}")
         return self._cores[core_id]
 
-    def _reoptimize(self, changed_core: int, invoker_evaluations: int) -> RMDecision:
+    def _reoptimize(self, changed_core: int, result: LocalOptResult) -> RMDecision:
         baseline = self.system.baseline_setting()
-        result = self._cores[changed_core].result
-        if result is None or not result.curve.has_feasible_point():
-            self._curves[changed_core] = EnergyCurve.pinned(baseline.ways)
-        else:
-            self._curves[changed_core] = result.curve
-        self._settings_memo[changed_core].clear()
+        state = self._cores[changed_core]
+        #: A memo hit that replays the exact result object whose curve the
+        #: reduction already holds leaves the whole global state
+        #: untouched: the recombine (and, on the keep branch, the
+        #: settings rebuild) can be skipped while charging identical
+        #: operation counts.
+        unchanged = (
+            state.result is result
+            and self._curves[changed_core] is result.curve
+        )
+        state.result = result
+        if not unchanged:
+            if not result.curve.has_feasible_point():
+                self._curves[changed_core] = EnergyCurve.pinned(baseline.ways)
+            else:
+                self._curves[changed_core] = result.curve
+            self._settings_memo[changed_core].clear()
+            self._energy_at_current[changed_core] = self._curve_energy_at(
+                self._curves[changed_core], self._current_ways[changed_core]
+            )
         curves = self._curves
-        total_energy, dp_operations, extract_ways = self._partition(changed_core)
+        total_energy, dp_operations, extract_ways = self._partition(
+            changed_core, unchanged
+        )
 
-        keep_energy = self._energy_at_partition(curves)
+        keep_energy = self._energy_at_partition()
         if keep_energy is not None and (
             keep_energy - total_energy < self.switch_threshold * abs(keep_energy)
         ):
             # Not worth re-partitioning: keep the current way split but
             # still refresh the per-way optimal (c, f) choices.  The
             # optimal allocation is never extracted in this branch.
+            if unchanged and self._last_settings is not None:
+                # Nothing moved at all: replay the previous settings map
+                # (same object — the simulator skips its diff on it).
+                return RMDecision(
+                    settings=self._last_settings,
+                    local_evaluations=result.evaluations,
+                    dp_operations=dp_operations,
+                    total_predicted_energy=keep_energy,
+                )
             ways = [self._current_ways[i] for i in range(self.system.n_cores)]
             total_energy = keep_energy
         else:
@@ -217,31 +305,38 @@ class ResourceManager:
             memo = self._settings_memo[i]
             setting = memo.get(w)
             if setting is None:
-                result = self._cores[i].result
-                if result is None or not result.is_feasible(w):
+                core_result = self._cores[i].result
+                if core_result is None or not core_result.is_feasible(w):
                     # No observations yet (pinned curve) or a defensive
                     # fallback for an infeasible pick: baseline (c, f) at w.
                     setting = baseline.replace(ways=w)
                 else:
-                    setting = result.setting_for(w)
+                    setting = core_result.setting_for(w)
                 memo[w] = setting
             settings[i] = setting
-            self._current_ways[i] = w
+            if w != self._current_ways[i]:
+                self._current_ways[i] = w
+                self._energy_at_current[i] = self._curve_energy_at(curves[i], w)
+        self._last_settings = settings
         return RMDecision(
             settings=settings,
-            local_evaluations=invoker_evaluations,
+            local_evaluations=result.evaluations,
             dp_operations=dp_operations,
             total_predicted_energy=total_energy,
         )
 
-    def _partition(self, changed_core: int):
+    def _partition(self, changed_core: int, leaf_unchanged: bool = False):
         """Run the global reduction in the configured mode.
 
         Returns ``(total_energy, dp_operations, extract_ways)`` with the
         allocation walk deferred (hysteresis usually discards it).
         Incremental: re-run only the changed leaf's path combines on the
         persistent tree (building it once after a reset) plus the root
-        window evaluation; ``dp_operations`` charges exactly that work.
+        window evaluation; ``dp_operations`` charges exactly that work —
+        and when the caller proves the leaf's curve object is unchanged,
+        the combines are skipped outright while
+        :meth:`~repro.core.global_opt.ReductionTree.path_operations`
+        reports the identical bill.
         Full rebuild: the stateless reduction, charging every combine —
         today's accounting, kept for the Section III-E overheads table.
         """
@@ -255,29 +350,27 @@ class ResourceManager:
         if self._tree is None:
             self._tree = ReductionTree(self._curves)
             ops = self._tree.build_operations
+        elif leaf_unchanged:
+            ops = self._tree.path_operations(changed_core)
         else:
             ops = self._tree.update(changed_core, self._curves[changed_core])
         total, eval_ops, extract = self._tree.evaluate(self.system.total_ways)
         return total, ops + eval_ops, extract
 
-    def _energy_at_partition(self, curves) -> float | None:
+    def _energy_at_partition(self) -> float | None:
         """Predicted total energy of keeping the current way partition.
 
         None when any core's current allocation is infeasible or outside
-        its fresh curve (forcing a re-partition).  Accumulates in core
-        order (bit-compatible with a scalar left-to-right sum).
+        its fresh curve (forcing a re-partition).  Sums the per-core
+        cached values left to right — the same floats in the same order
+        as reading each curve directly, hence bit-compatible.
         """
         total = 0.0
-        current = self._current_ways
-        for i, curve in enumerate(curves):
-            w = current[i]
-            if not curve.w_min <= w <= curve.w_max:
-                return None
-            e = curve.energy[w - curve.w_min]
-            if not np.isfinite(e):
+        for e in self._energy_at_current:
+            if e is None:
                 return None
             total += e
-        return float(total)
+        return total
 
     def reset(self) -> None:
         baseline = self.system.baseline_setting()
@@ -289,6 +382,13 @@ class ResourceManager:
         self._tree = None
         for memo in self._settings_memo:
             memo.clear()
+        self._energy_at_current = [
+            self._curve_energy_at(c, self._current_ways[i])
+            for i, c in enumerate(self._curves)
+        ]
+        self._last_settings = None
+        if self.local_memo is not None:
+            self.local_memo.clear()
 
 
 class IdleRM(ResourceManager):
@@ -302,16 +402,28 @@ class IdleRM(ResourceManager):
             perf_model or _NullModel(),
             RMCapabilities(adapt_frequency=False, adapt_core=False),
         )
+        self._idle_settings: Optional[Dict[int, Setting]] = None
 
     def observe(self, core_id: int, inputs: ModelInputs) -> RMDecision:
         self._core_state(core_id)  # validate the id
-        baseline = self.system.baseline_setting()
+        # The map is invariant between resets: build it once and hand the
+        # same object back every boundary — the simulator recognises the
+        # identity and skips its per-core setting diff outright.
+        settings = self._idle_settings
+        if settings is None:
+            baseline = self.system.baseline_setting()
+            settings = {i: baseline for i in range(self.system.n_cores)}
+            self._idle_settings = settings
         return RMDecision(
-            settings={i: baseline for i in range(self.system.n_cores)},
+            settings=settings,
             local_evaluations=0,
             dp_operations=0,
             total_predicted_energy=float("nan"),
         )
+
+    def reset(self) -> None:
+        super().reset()
+        self._idle_settings = None
 
 
 class _NullModel(PerformanceModel):

@@ -69,6 +69,11 @@ class PerformanceModel(ABC):
     #: Display name used in experiment output ("Model1" ... "Perfect").
     name: str = "base"
 
+    #: Whether predictions read ``ModelInputs.next_record`` (the oracle).
+    #: The local-decision memo keys on it: online models exclude the next
+    #: record so recurring statistics hit regardless of what comes next.
+    uses_next_record: bool = False
+
     @abstractmethod
     def memory_time_grid(
         self, inputs: ModelInputs, system: SystemConfig
@@ -168,6 +173,7 @@ class PerfectModel(PerformanceModel):
     """
 
     name = "Perfect"
+    uses_next_record = True
 
     def memory_time_grid(self, inputs: ModelInputs, system: SystemConfig) -> np.ndarray:
         if inputs.next_record is None:

@@ -222,11 +222,21 @@ class PhaseRecord:
     # online-model inputs
     # ------------------------------------------------------------------
     def counters_at(self, setting: Setting) -> IntervalCounters:
-        """Hardware counters observed after one interval at ``setting``."""
+        """Hardware counters observed after one interval at ``setting``.
+
+        Memoized per (record, setting): a record is immutable and recurs
+        across intervals, so the simulator's boundary path re-reads the
+        same counters object instead of re-deriving it.  The returned
+        ``IntervalCounters`` is frozen — sharing is safe.
+        """
+        cache = self.__dict__.setdefault("_counters_cache", {})
+        hit = cache.get(setting)
+        if hit is not None:
+            return hit
         c = int(setting.core)
         fi = self.f_index(setting.f_ghz)
         wi = self.w_index(setting.ways)
-        return IntervalCounters(
+        counters = IntervalCounters(
             setting=setting,
             n_instructions=self.n_instructions,
             time_s=float(self.time_grid[c, fi, wi]),
@@ -244,18 +254,68 @@ class PhaseRecord:
                 self.core_static_power_grid[c, fi] * self.time_grid[c, fi, wi]
             ),
         )
+        cache[setting] = counters
+        return counters
 
     def atd_report(self) -> ATDReport:
-        """The ATD's end-of-interval report for this phase."""
-        return ATDReport(
-            miss_curve=self.atd_miss_curve,
-            mlp=MLPEstimate(
-                leading_misses=self.lm_heur,
-                total_misses=self.atd_miss_curve,
-                scale=1.0,
-            ),
-            accesses=self.llc_accesses,
-        )
+        """The ATD's end-of-interval report for this phase.
+
+        Memoized: the report is a frozen view over the record's (immutable)
+        arrays, so every interval boundary of a recurring phase hands the
+        RM the same object — which also lets the report's content
+        fingerprint be computed exactly once.
+        """
+        cached = self.__dict__.get("_atd_report")
+        if cached is None:
+            cached = ATDReport(
+                miss_curve=self.atd_miss_curve,
+                mlp=MLPEstimate(
+                    leading_misses=self.lm_heur,
+                    total_misses=self.atd_miss_curve,
+                    scale=1.0,
+                ),
+                accesses=self.llc_accesses,
+            )
+            object.__setattr__(self, "_atd_report", cached)
+        return cached
+
+    @property
+    def fingerprint(self) -> str:
+        """Content hash of the full record (identifies oracle inputs).
+
+        Used by the local-decision memo to key results that depend on the
+        *next* interval's ground truth (the Perfect model); online-model
+        results key on the counters/ATD content instead.
+        """
+        cached = self.__dict__.get("_fingerprint")
+        if cached is None:
+            import hashlib
+            import struct
+
+            h = hashlib.blake2b(digest_size=16)
+            h.update(self.app.encode())
+            h.update(self.phase.encode())
+            h.update(struct.pack("<dd", self.n_instructions, self.llc_accesses))
+            h.update(struct.pack("<d", self.branch_cycles))
+            for name in (
+                "ipc_by_size",
+                "dep_stall_cycles",
+                "cache_stall_curve",
+                "miss_curve",
+                "lm_true",
+                "atd_miss_curve",
+                "lm_heur",
+                "time_grid",
+                "mem_time_grid",
+                "core_dyn_grid",
+                "core_static_power_grid",
+                "mem_energy_curve",
+                "frequencies_ghz",
+            ):
+                h.update(np.ascontiguousarray(getattr(self, name)).tobytes())
+            cached = h.hexdigest()
+            object.__setattr__(self, "_fingerprint", cached)
+        return cached
 
     # ------------------------------------------------------------------
     def baseline_time(self, system: SystemConfig) -> float:

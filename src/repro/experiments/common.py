@@ -53,7 +53,7 @@ class ExperimentConfig:
     #: Core counts evaluated by the multi-core experiments.
     core_counts: Tuple[int, ...] = (4, 8)
     #: Core counts swept by the decision-kernel scaling experiment
-    #: (None resolves to 4..32, shrunk in quick mode; an explicit tuple —
+    #: (None resolves to 4..64, shrunk in quick mode; an explicit tuple —
     #: e.g. from ``--scaling-cores`` — is honoured as-is).
     scaling_core_counts: Tuple[int, ...] | None = None
     #: Horizon override in intervals (None = the paper's longest-app rule).
@@ -64,7 +64,8 @@ class ExperimentConfig:
         cfg = self
         if cfg.scaling_core_counts is None:
             cfg = replace(
-                cfg, scaling_core_counts=(4, 16) if cfg.quick else (4, 8, 16, 32)
+                cfg,
+                scaling_core_counts=(4, 16) if cfg.quick else (4, 8, 16, 32, 64),
             )
         if not cfg.quick:
             return cfg

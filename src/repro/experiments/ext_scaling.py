@@ -1,12 +1,12 @@
-"""EXT: decision-kernel scaling — RM3 vs Idle from 4 to 32 cores.
+"""EXT: decision-kernel scaling — RM3 vs Idle from 4 to 64 cores.
 
 Section III-A's headline argument is that pairwise curve reduction makes
 coordinated (c, f, w) management *polynomial* in core count; the paper
 evaluates 4- and 8-core systems.  This extension finally measures the
 claim at scale: scenario-constrained workloads are synthesised at every
-core count in ``cfg.scaling_core_counts`` (16- and 32-core systems by
-default) and RM3/Model3 runs against the Idle baseline with all overheads
-charged, reporting
+core count in ``cfg.scaling_core_counts`` (up to 64-core systems by
+default, NUMA-node-sized sharing domains) and RM3/Model3 runs against
+the Idle baseline with all overheads charged, reporting
 
 * energy savings and QoS violation rate — does the benefit survive the
   larger coordination space?

@@ -22,6 +22,7 @@ __all__ = ["EXPERIMENTS", "run_experiment", "run_all", "plan_all", "render_all"]
 def _registry() -> Dict[str, ModuleType]:
     from repro.experiments import (
         ext_alpha,
+        ext_alpha_scaling,
         ext_scaling,
         ext_sensitivity,
         fig1_tradeoffs,
@@ -48,6 +49,7 @@ def _registry() -> Dict[str, ModuleType]:
         "ext-sensitivity": ext_sensitivity,
         "ext-alpha": ext_alpha,
         "ext-scaling": ext_scaling,
+        "ext-alpha-scaling": ext_alpha_scaling,
     }
 
 

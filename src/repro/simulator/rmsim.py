@@ -29,7 +29,7 @@ replay engine's ``LRUStack`` pattern).
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
@@ -302,6 +302,11 @@ class MulticoreRMSimulator:
         rm_invocations = 0
         rm_instructions = 0.0
         history: Optional[List[SettingChange]] = [] if self.collect_history else None
+        #: The settings map applied last.  Managers whose decision changes
+        #: nothing hand the *same object* back (the memoized fast path,
+        #: and IdleRM's per-reset constant map); identity proves every
+        #: per-core comparison in the diff loop below would be a no-op.
+        applied_settings: Optional[Dict[int, Setting]] = None
 
         for _ in range(max_events):
             if np.all(st.finished):
@@ -359,7 +364,13 @@ class MulticoreRMSimulator:
 
             # The boundary core's record changed; any core whose setting
             # changes needs fresh rates too.  Everyone else's (record,
-            # setting) pair — hence rates — is untouched.
+            # setting) pair — hence rates — is untouched.  A decision
+            # returning the very map applied last changes nothing by
+            # construction — skip the per-core diff outright.
+            if decision.settings is applied_settings:
+                st.refresh_rates(b)
+                continue
+            applied_settings = decision.settings
             stale = {b}
             for i in range(n_cores):
                 new_setting = decision.settings[i]

@@ -129,7 +129,7 @@ class TestRunner:
         assert set(EXPERIMENTS) == {
             "table1", "table2", "fig1", "fig2", "fig6", "fig7", "fig8",
             "fig9", "overheads", "ext-sensitivity", "ext-alpha",
-            "ext-scaling",
+            "ext-scaling", "ext-alpha-scaling",
         }
 
     def test_unknown_experiment(self):

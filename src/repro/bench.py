@@ -2,10 +2,13 @@
 
 The repo keeps small, stable perf baselines at its root —
 ``BENCH_substrate.json`` (replay engines), ``BENCH_campaign.json``
-(end-to-end ``all --quick``), ``BENCH_decision.json`` (global reduction)
-and ``BENCH_localopt.json`` (the local-decision kernel).  Each is
+(end-to-end ``all --quick``), ``BENCH_decision.json`` (global reduction),
+``BENCH_localopt.json`` (the local-decision kernel) and
+``BENCH_simloop.json`` (the wave-batched simulator event loop).  Most are
 distilled from a pytest-benchmark run of the matching file under
-``benchmarks/``; this module is the single implementation behind
+``benchmarks/`` (``simloop`` measures in-process with interleaved rounds
+— its headline is a ratio, which frequency drift would otherwise skew);
+this module is the single implementation behind
 
     python -m repro bench --emit decision        # regenerate one
     python -m repro bench --emit all             # regenerate every one
@@ -38,12 +41,16 @@ from typing import Callable, Dict, List, Optional
 __all__ = [
     "EMITTERS",
     "check_localopt",
+    "check_simloop",
     "emit_campaign",
     "emit_decision",
     "emit_localopt",
+    "emit_simloop",
     "emit_substrate",
     "environment_block",
     "main",
+    "measure_localopt",
+    "measure_simloop",
 ]
 
 REPO_ROOT = Path(__file__).resolve().parents[2]
@@ -467,15 +474,177 @@ def check_localopt() -> int:
     return 0
 
 
+# ---------------------------------------------------------------------------
+# simulator event loop (wave batching + persistent local memo)
+# ---------------------------------------------------------------------------
+#: Core counts measured by the simulator event-loop baseline.
+SIMLOOP_CORE_COUNTS = (4, 16, 64)
+#: Instruction horizon (in intervals) of the measured end-to-end runs.
+SIMLOOP_HORIZON = 20
+
+
+def measure_simloop(
+    n_cores: int, horizon: int = SIMLOOP_HORIZON, rounds: int = 5
+) -> Dict:
+    """End-to-end RM3/Model3 run wall-clock in all three loop flavours.
+
+    Measures ``scalar`` (the PR-4 oracle), ``wave`` cold (no persistent
+    memo) and ``wave`` warm (persistent memo primed on disk, fresh
+    manager per run — the repeated-campaign shape) with the rounds
+    *interleaved* and summarised by median, so CPU-frequency drift hits
+    every flavour equally instead of whichever ran last.  Each round
+    builds a fresh manager; only OS/db-level state stays warm, exactly
+    as it would for a campaign worker.
+    """
+    from repro.campaign.executor import make_model
+    from repro.core.managers import make_rm
+    from repro.experiments.common import get_database
+    from repro.simulator.rmsim import MulticoreRMSimulator
+
+    db = get_database(n_cores, BENCH_SEED)
+    names = db.app_names()
+    apps = [names[i % len(names)] for i in range(n_cores)]
+
+    def run(wave):
+        rm = make_rm("rm3", db.system, make_model("Model3"))
+        sim = MulticoreRMSimulator(db, rm, wave=wave)
+        return sim.run(apps, horizon_intervals=horizon), rm
+
+    def med(xs):
+        xs = sorted(xs)
+        return xs[len(xs) // 2]
+
+    times: Dict[str, List[float]] = {"scalar": [], "wave_cold": [], "wave_warm": []}
+    saved_env = os.environ.get("REPRO_LOCAL_MEMO")
+    with tempfile.TemporaryDirectory() as memo_dir:
+        try:
+            os.environ["REPRO_LOCAL_MEMO"] = memo_dir
+            run("step")  # prime the persistent memo (and JIT/db caches)
+            result = None
+            hit_rate = 0.0
+            for _ in range(rounds):
+                os.environ.pop("REPRO_LOCAL_MEMO", None)
+                t0 = time.perf_counter()
+                result, _ = run("scalar")
+                times["scalar"].append(time.perf_counter() - t0)
+                t0 = time.perf_counter()
+                run("step")
+                times["wave_cold"].append(time.perf_counter() - t0)
+                os.environ["REPRO_LOCAL_MEMO"] = memo_dir
+                t0 = time.perf_counter()
+                _, rm = run("step")
+                times["wave_warm"].append(time.perf_counter() - t0)
+                memo = rm.local_memo
+                hit_rate = memo.hit_rate if memo is not None else 0.0
+        finally:
+            if saved_env is None:
+                os.environ.pop("REPRO_LOCAL_MEMO", None)
+            else:
+                os.environ["REPRO_LOCAL_MEMO"] = saved_env
+    return {
+        "scalar_s": med(times["scalar"]),
+        "wave_cold_s": med(times["wave_cold"]),
+        "wave_warm_s": med(times["wave_warm"]),
+        "events": result.rm_invocations,
+        "memo_hit_rate": hit_rate,
+        "rounds": rounds,
+    }
+
+
+def emit_simloop() -> int:
+    """Regenerate ``BENCH_simloop.json`` (event-loop end-to-end baseline).
+
+    Deliberately in-process (not a pytest-benchmark distillation): the
+    scalar-vs-wave ratio is the headline number and only interleaved
+    rounds keep it honest on machines with frequency drift.
+    """
+    from repro.core import _native_opt
+
+    per_cores: Dict[str, Dict] = {}
+    for n in SIMLOOP_CORE_COUNTS:
+        row = measure_simloop(n)
+        row["wave_warm_speedup_vs_scalar"] = row["scalar_s"] / row["wave_warm_s"]
+        row["wave_cold_speedup_vs_scalar"] = row["scalar_s"] / row["wave_cold_s"]
+        per_cores[str(n)] = row
+        print(
+            f"{n:>3} cores: scalar {row['scalar_s']*1e3:7.1f} ms, "
+            f"wave warm {row['wave_warm_s']*1e3:7.1f} ms "
+            f"({row['wave_warm_speedup_vs_scalar']:.2f}x, "
+            f"hit rate {row['memo_hit_rate']:.2f})"
+        )
+
+    top = per_cores[str(max(SIMLOOP_CORE_COUNTS))]
+    payload = {
+        "description": "Simulator event-loop baseline (wave-batched loop + "
+        "persistent local memo vs the scalar PR-4 oracle; end-to-end "
+        "RM3/Model3 runs, fresh manager per run, interleaved medians)",
+        "environment": environment_block(
+            wave_modes=["scalar", "step", "epsilon"],
+            reduction="incremental",
+            local_mode="memoized",
+            native_combine_available=_native_opt.available(),
+            horizon_intervals=SIMLOOP_HORIZON,
+        ),
+        "cores": per_cores,
+        "simloop_summary": {
+            "warm_64c_speedup_vs_scalar": round(
+                top["wave_warm_speedup_vs_scalar"], 2
+            ),
+            "cold_64c_speedup_vs_scalar": round(
+                top["wave_cold_speedup_vs_scalar"], 2
+            ),
+            "warm_64c_memo_hit_rate": round(top["memo_hit_rate"], 3),
+        },
+    }
+    _write(REPO_ROOT / "BENCH_simloop.json", payload)
+    return 0
+
+
+def check_simloop() -> int:
+    """CI smoke: the wave loop must not collapse vs the baseline.
+
+    Same philosophy as :func:`check_localopt` — re-measure at a CI-sized
+    scale in-process and fail only when the win collapses (speedup under
+    a quarter of the committed 16-core figure or below 1.2x, hit rate 10
+    points under baseline), so shared-runner noise cannot flake the job.
+    """
+    path = REPO_ROOT / "BENCH_simloop.json"
+    committed = json.loads(path.read_text())
+    base = committed["cores"]["16"]
+    row = measure_simloop(16, rounds=3)
+    speedup = row["scalar_s"] / row["wave_warm_s"]
+    floor = max(1.2, base["wave_warm_speedup_vs_scalar"] / 4.0)
+    hit_floor = (base.get("memo_hit_rate") or 0.0) - 0.10
+    line = (
+        f"16 cores: wave-warm speedup {speedup:.2f}x (committed "
+        f"{base['wave_warm_speedup_vs_scalar']:.2f}x, floor {floor:.2f}x), "
+        f"hit rate {row['memo_hit_rate']:.2f} (floor {hit_floor:.2f})"
+    )
+    print(line)
+    failures: List[str] = []
+    if speedup < floor:
+        failures.append(f"wave speedup collapse: {line}")
+    if row["memo_hit_rate"] < hit_floor:
+        failures.append(f"memo hit-rate collapse: {line}")
+    if failures:
+        for f in failures:
+            print(f"FAIL: {f}", file=sys.stderr)
+        return 1
+    print("simloop check passed")
+    return 0
+
+
 EMITTERS: Dict[str, Callable[[], int]] = {
     "substrate": emit_substrate,
     "campaign": emit_campaign,
     "decision": emit_decision,
     "localopt": emit_localopt,
+    "simloop": emit_simloop,
 }
 
 CHECKS: Dict[str, Callable[[], int]] = {
     "localopt": check_localopt,
+    "simloop": check_simloop,
 }
 
 

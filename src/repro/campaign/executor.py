@@ -36,6 +36,7 @@ from repro.campaign.results import (
     store_result,
 )
 from repro.campaign.spec import MODEL_NAMES, RunSpec
+from repro.core.local_cache import local_memo_max_mb, prune_local_memo
 from repro.core.managers import ResourceManager, make_rm
 from repro.core.qos import QoSPolicy
 from repro.simulator.metrics import SimResult
@@ -84,7 +85,9 @@ def _simulate(spec: RunSpec) -> SimResult:
             spec.rm_kind, relaxed, make_model(spec.model),
             qos=QoSPolicy(spec.alpha),
         )
-    sim = MulticoreRMSimulator(db, rm, charge_overheads=spec.charge_overheads)
+    sim = MulticoreRMSimulator(
+        db, rm, charge_overheads=spec.charge_overheads, wave=spec.wave
+    )
     return sim.run(list(spec.apps), horizon_intervals=spec.horizon_intervals)
 
 
@@ -205,10 +208,11 @@ class Campaign:
         Bit-identical for any ``n_workers`` (each run is independent and
         deterministic in its spec; only scheduling changes).
         """
-        # Resolve the store cap up-front: a malformed
-        # REPRO_RESULT_CACHE_MAX_MB must fail before hours of simulation,
-        # not at the post-campaign prune.
+        # Resolve the store caps up-front: a malformed
+        # REPRO_RESULT_CACHE_MAX_MB / REPRO_LOCAL_MEMO_MAX_MB must fail
+        # before hours of simulation, not at the post-campaign prune.
         cache_cap_mb = result_cache_max_mb()
+        memo_cap_mb = local_memo_max_mb()
         specs = self.unique_specs
         results: Dict[str, SimResult] = {}
         pending: List[RunSpec] = []
@@ -252,6 +256,10 @@ class Campaign:
             # results just produced carry the freshest mtimes, so they
             # are the last to go).
             prune_result_cache(cache_cap_mb)
+        if pending and memo_cap_mb is not None:
+            # Same policy for the persistent local-decision memo the
+            # simulations fed (REPRO_LOCAL_MEMO).
+            prune_local_memo(memo_cap_mb)
 
         stats = CampaignStats(
             planned=self._planned,

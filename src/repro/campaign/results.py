@@ -30,6 +30,14 @@ from typing import Dict, Optional
 from repro.config import CoreSize, Setting
 from repro.power.energy import EnergyBreakdown
 from repro.simulator.metrics import SettingChange, SimResult
+from repro.util.diskcache import (
+    atomic_write_text,
+    bump_mtime,
+    dir_stats,
+    parse_max_mb,
+    prune_lru,
+    read_text_guarded,
+)
 
 __all__ = [
     "cache_stats",
@@ -141,30 +149,23 @@ def cached_result(fingerprint: str) -> Optional[SimResult]:
     hit = _MEMO.get(fingerprint)
     if hit is not None:
         if root is not None:
-            try:
-                # Memo hits must keep the on-disk twin LRU-hot too, or a
-                # capped store evicts results a long-lived process is
-                # actively using through the memo.
-                os.utime(root / f"{fingerprint}.json")
-            except OSError:
-                pass
+            # Memo hits must keep the on-disk twin LRU-hot too, or a
+            # capped store evicts results a long-lived process is
+            # actively using through the memo.
+            bump_mtime(root / f"{fingerprint}.json")
         return hit
     if root is None:
         return None
     file = root / f"{fingerprint}.json"
-    try:
-        text = file.read_text()
-    except OSError:
+    text = read_text_guarded(file)
+    if text is None:
         return None
     try:
         result = result_from_json(text)
     except (KeyError, TypeError, ValueError, json.JSONDecodeError):
         return None
-    try:
-        # LRU bump: eviction is by mtime, so a hit marks the file used.
-        os.utime(file)
-    except OSError:
-        pass
+    # LRU bump: eviction is by mtime, so a hit marks the file used.
+    bump_mtime(file)
     _MEMO[fingerprint] = result
     return result
 
@@ -179,18 +180,8 @@ def store_result(fingerprint: str, result: SimResult) -> None:
     """Record a result in the memo and (best-effort) on disk."""
     _MEMO[fingerprint] = result
     root = result_cache_dir()
-    if root is None:
-        return
-    try:
-        root.mkdir(parents=True, exist_ok=True)
-        # Per-process tmp name: concurrent writers of one fingerprint
-        # (e.g. two CI jobs sharing a cache) must not interleave on an
-        # inode that one of them then publishes.
-        tmp = root / f"{fingerprint}.{os.getpid()}.tmp"
-        tmp.write_text(result_to_json(result))
-        os.replace(tmp, root / f"{fingerprint}.json")
-    except OSError:
-        pass
+    if root is not None:
+        atomic_write_text(root / f"{fingerprint}.json", result_to_json(result))
 
 
 def clear_result_memo() -> None:
@@ -204,31 +195,12 @@ def memo_size() -> int:
 
 def result_cache_max_mb() -> Optional[float]:
     """The configured size cap in MiB, or None when unbounded."""
-    raw = os.environ.get(CACHE_MAX_MB_ENV)
-    if not raw:
-        return None
-    try:
-        cap = float(raw)
-    except ValueError:
-        raise ValueError(
-            f"{CACHE_MAX_MB_ENV} must be a number, got {raw!r}"
-        ) from None
-    return cap if cap > 0 else None
+    return parse_max_mb(CACHE_MAX_MB_ENV)
 
 
 def cache_stats() -> Dict[str, float]:
     """On-disk store shape: file count and total size in bytes/MiB."""
-    root = result_cache_dir()
-    files = 0
-    size = 0
-    if root is not None and root.is_dir():
-        for file in root.glob("*.json"):
-            try:
-                size += file.stat().st_size
-            except OSError:
-                continue
-            files += 1
-    return {"files": files, "bytes": size, "mb": size / (1024 * 1024)}
+    return dir_stats(result_cache_dir())
 
 
 def prune_result_cache(max_mb: Optional[float] = None) -> Dict[str, float]:
@@ -243,33 +215,4 @@ def prune_result_cache(max_mb: Optional[float] = None) -> Dict[str, float]:
     """
     if max_mb is None:
         max_mb = result_cache_max_mb()
-    elif max_mb <= 0:
-        max_mb = None
-    removed = {"removed_files": 0, "removed_bytes": 0}
-    root = result_cache_dir()
-    if root is None or max_mb is None or not root.is_dir():
-        stats = cache_stats()
-        return {**removed, "kept_files": stats["files"], "kept_bytes": stats["bytes"]}
-    entries = []
-    total = 0
-    for file in root.glob("*.json"):
-        try:
-            stat = file.stat()
-        except OSError:
-            continue
-        entries.append((stat.st_mtime, stat.st_size, file))
-        total += stat.st_size
-    entries.sort()
-    budget = max_mb * 1024 * 1024
-    for _mtime, size, file in entries:
-        if total <= budget:
-            break
-        try:
-            file.unlink()
-        except OSError:
-            continue
-        total -= size
-        removed["removed_files"] += 1
-        removed["removed_bytes"] += size
-    kept = len(entries) - removed["removed_files"]
-    return {**removed, "kept_files": kept, "kept_bytes": total}
+    return prune_lru(result_cache_dir(), max_mb)

@@ -78,6 +78,12 @@ class RunSpec:
     alpha: Optional[float] = None
     horizon_intervals: Optional[int] = None
     charge_overheads: bool = True
+    #: Simulator event-loop mode (None = the simulator's own resolution:
+    #: ``REPRO_SIM_WAVE`` then ``"step"``).  Deliberately EXCLUDED from
+    #: the fingerprint: every mode produces bit-identical results
+    #: (differentially tested), so specs differing only in ``wave``
+    #: address the same cached result.
+    wave: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.rm_kind not in _RM_ALL:
@@ -112,6 +118,13 @@ class RunSpec:
             raise ValueError("the idle manager takes no alpha")
         if self.horizon_intervals is not None and self.horizon_intervals < 1:
             raise ValueError("horizon_intervals must be >= 1")
+        if self.wave is not None:
+            from repro.simulator.rmsim import WAVE_MODES
+
+            if self.wave not in WAVE_MODES:
+                raise ValueError(
+                    f"unknown wave mode {self.wave!r}; options: {WAVE_MODES}"
+                )
 
     @property
     def fingerprint(self) -> str:
@@ -146,6 +159,8 @@ class RunSpec:
             extras.append(f"h={self.horizon_intervals}")
         if not self.charge_overheads:
             extras.append("no-overheads")
+        if self.wave is not None:
+            extras.append(f"wave={self.wave}")
         suffix = f" [{', '.join(extras)}]" if extras else ""
         return (
             f"{self.n_cores}c {self.rm_kind}{model} "

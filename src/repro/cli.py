@@ -10,19 +10,22 @@ Usage::
     python -m repro all --quick --csv-dir out # ... persisting CSV tables
     python -m repro fig6 --seed 7 --workloads 3 --cores 4
     python -m repro ext-scaling --scaling-cores 16 64   # kernel sweep
-    python -m repro cache                  # result-store stats
+    python -m repro ext-scaling --wave scalar    # event-loop oracle mode
+    python -m repro cache                  # result-store + local-memo stats
     python -m repro cache --prune --max-mb 256   # LRU-evict to 256 MiB
     python -m repro bench --emit localopt  # regenerate one BENCH_*.json
     python -m repro bench --emit all       # ... or every baseline
-    python -m repro bench --check localopt # CI smoke: no perf collapse
+    python -m repro bench --check simloop  # CI smoke: no perf collapse
 
 Every experiment plans its simulations through the campaign engine;
 ``all`` merges the plans so shared runs simulate exactly once.  The
 ``--workers`` flag (or ``REPRO_CAMPAIGN_WORKERS``) fans unique runs out
 over a process pool — results are bit-identical for any worker count.
-The ``cache`` subcommand manages the on-disk result store named by
-``REPRO_RESULT_CACHE`` (cap: ``REPRO_RESULT_CACHE_MAX_MB``); ``bench``
-consolidates the ``benchmarks/emit_*_baseline.py`` entry points.
+The ``cache`` subcommand manages both on-disk stores: the result store
+named by ``REPRO_RESULT_CACHE`` (cap: ``REPRO_RESULT_CACHE_MAX_MB``) and
+the persistent local-decision memo named by ``REPRO_LOCAL_MEMO`` (cap:
+``REPRO_LOCAL_MEMO_MAX_MB``); ``bench`` consolidates the
+``benchmarks/emit_*_baseline.py`` entry points.
 """
 
 from __future__ import annotations
@@ -81,9 +84,22 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     parser.add_argument(
+        "--wave",
+        default=None,
+        choices=["step", "epsilon", "scalar"],
+        help=(
+            "simulator event-loop mode (default: REPRO_SIM_WAVE or "
+            "'step'; all modes are bit-identical — 'scalar' is the "
+            "slow differential oracle)"
+        ),
+    )
+    parser.add_argument(
         "--prune",
         action="store_true",
-        help="with 'cache': LRU-evict results down to the size cap",
+        help=(
+            "with 'cache': LRU-evict results and local-memo entries "
+            "down to their size caps"
+        ),
     )
     parser.add_argument(
         "--max-mb",
@@ -91,8 +107,9 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         metavar="MB",
         help=(
-            "with 'cache --prune': size cap override "
-            "(default: REPRO_RESULT_CACHE_MAX_MB)"
+            "with 'cache --prune': result-store size cap override "
+            "(default: REPRO_RESULT_CACHE_MAX_MB); the local memo "
+            "always prunes to its own REPRO_LOCAL_MEMO_MAX_MB"
         ),
     )
     parser.add_argument(
@@ -141,6 +158,7 @@ def _emit(result, csv_dir: Path | None) -> None:
 
 
 def _cache_command(prune: bool, max_mb: float | None) -> int:
+    """Report/prune both on-disk stores: results and the local memo."""
     from repro.campaign.results import (
         CACHE_ENV,
         cache_stats,
@@ -148,27 +166,58 @@ def _cache_command(prune: bool, max_mb: float | None) -> int:
         result_cache_dir,
         result_cache_max_mb,
     )
-
-    root = result_cache_dir()
-    if root is None:
-        print(f"no on-disk result cache ({CACHE_ENV} is unset)")
-        return 0
-    if prune:
-        outcome = prune_result_cache(max_mb)
-        print(
-            f"pruned {outcome['removed_files']} results "
-            f"({outcome['removed_bytes'] / 1048576:.1f} MiB); "
-            f"kept {outcome['kept_files']} "
-            f"({outcome['kept_bytes'] / 1048576:.1f} MiB) in {root}"
-        )
-        return 0
-    stats = cache_stats()
-    cap = max_mb if max_mb is not None else result_cache_max_mb()
-    cap_text = f"{cap:.0f} MiB" if cap else "unbounded"
-    print(
-        f"{root}: {stats['files']:.0f} results, {stats['mb']:.1f} MiB "
-        f"(cap: {cap_text})"
+    from repro.core.local_cache import (
+        LOCAL_MEMO_ENV,
+        local_memo_dir,
+        local_memo_max_mb,
+        local_memo_stats,
+        prune_local_memo,
     )
+
+    # --max-mb overrides the *result store* cap only (its documented
+    # purpose); the local memo always answers to its own env cap, so a
+    # user shrinking result storage cannot accidentally evict a warm
+    # phase library.
+    stores = (
+        (
+            "results",
+            CACHE_ENV,
+            result_cache_dir(),
+            cache_stats,
+            prune_result_cache,
+            result_cache_max_mb,
+            max_mb,
+        ),
+        (
+            "local memo",
+            LOCAL_MEMO_ENV,
+            local_memo_dir(),
+            local_memo_stats,
+            prune_local_memo,
+            local_memo_max_mb,
+            None,
+        ),
+    )
+    for name, env, root, stats_fn, prune_fn, cap_fn, override_mb in stores:
+        if root is None:
+            print(f"no on-disk {name} store ({env} is unset)")
+            continue
+        if prune:
+            outcome = prune_fn(override_mb)
+            print(
+                f"{name}: pruned {outcome['removed_files']} entries "
+                f"({outcome['removed_bytes'] / 1048576:.1f} MiB); "
+                f"kept {outcome['kept_files']} "
+                f"({outcome['kept_bytes'] / 1048576:.1f} MiB) in {root}"
+            )
+            continue
+        stats = stats_fn()
+        cap = override_mb if override_mb is not None else cap_fn()
+        cap_text = f"{cap:.0f} MiB" if cap else "unbounded"
+        print(
+            f"{name} @ {root}: {stats['files']:.0f} entries, "
+            f"{stats['mb']:.1f} MiB (cap: {cap_text})"
+        )
     return 0
 
 
@@ -194,6 +243,15 @@ def main(argv: Sequence[str] | None = None) -> int:
         return 0
     if args.experiment == "cache":
         return _cache_command(args.prune, args.max_mb)
+
+    if args.wave is not None:
+        # The event-loop mode is an execution strategy, not an input:
+        # results are bit-identical across modes, so it rides on the
+        # environment (every campaign worker inherits it) instead of
+        # the content-addressed RunSpec fingerprints.
+        import os
+
+        os.environ["REPRO_SIM_WAVE"] = args.wave
 
     cfg = ExperimentConfig(
         seed=args.seed,

@@ -34,11 +34,13 @@ charges.
 
 from __future__ import annotations
 
+import ctypes
 from dataclasses import dataclass
 from typing import List, Optional, Sequence
 
 import numpy as np
 
+from repro.core import _native_opt
 from repro.core.energy_curve import EnergyCurve
 
 __all__ = [
@@ -62,7 +64,18 @@ class GlobalOptResult:
 class _Node:
     """Reduction-tree node: a combined curve plus back-tracking tables."""
 
-    __slots__ = ("curve", "left", "right", "choice", "w_lo", "parent")
+    __slots__ = (
+        "curve",
+        "left",
+        "right",
+        "choice",
+        "w_lo",
+        "parent",
+        "n_leaves",
+        "nom_size",
+        "win_lo",
+        "win_hi",
+    )
 
     def __init__(self, curve=None, left=None, right=None, choice=None):
         self.curve: Optional[EnergyCurve] = curve
@@ -73,6 +86,17 @@ class _Node:
         self.choice = choice
         self.w_lo: int = 0  # combined-domain lower bound (= curve.w_min)
         self.parent: Optional[_Node] = None
+        #: Leaves under this node (window derivation).
+        self.n_leaves: int = 1
+        #: Width the *unwindowed* combine would have — the accounting
+        #: basis: ``dp_operations`` always charges nominal ``la * lb``
+        #: cells, whether or not the accelerated path narrowed the
+        #: columns it actually materialised.
+        self.nom_size: int = 0
+        #: Budget window (absolute way counts) this node's curve can ever
+        #: be read at; None until acceleration derives it.
+        self.win_lo: Optional[int] = None
+        self.win_hi: Optional[int] = None
 
 
 def combine_pair(a: EnergyCurve, b: EnergyCurve) -> tuple[EnergyCurve, np.ndarray, int]:
@@ -161,7 +185,69 @@ def _combine_node(node: _Node) -> int:
     node.curve, choice, ops = combine_pair(node.left.curve, node.right.curve)
     node.choice = choice.tolist()
     node.w_lo = node.curve.w_min
+    node.nom_size = node.curve.energy.size
     return ops
+
+
+def _combine_node_accel(node: _Node) -> int:
+    """:func:`_combine_node` restricted to the node's budget window.
+
+    Only the columns inside ``[win_lo, win_hi]`` are materialised —
+    column minima of the (min,+) band are mutually independent, so every
+    produced value (and its first-minimum choice) is bit-identical to the
+    full combine's; the skipped columns are exactly those no feasible
+    full-budget split can ever read (see
+    :meth:`ReductionTree.set_acceleration`).  The compiled kernel walks
+    each column's band once when available; the NumPy fallback slices the
+    same columns out of the full banded view.  Either way the charged
+    cells stay the *nominal* ``la * lb`` — the accounting the unwindowed
+    PR-4 path reports (the :meth:`ReductionTree.path_operations`
+    invariance pattern).
+    """
+    a, b = node.left.curve, node.right.curve
+    nom_la = node.left.nom_size
+    nom_lb = node.right.nom_size
+    node.nom_size = nom_la + nom_lb - 1
+    lo = a.w_min + b.w_min
+    hi = a.w_max + b.w_max
+    win_lo = lo if node.win_lo is None else max(lo, node.win_lo)
+    win_hi = hi if node.win_hi is None else min(hi, node.win_hi)
+    if win_lo > win_hi:  # pragma: no cover - guarded by budget validation
+        raise ValueError("empty budget window; budget outside domain")
+    la = a.energy.size
+    lib = _native_opt.raw_lib()
+    if lib is not None:
+        # Direct FFI call: curve energies are C-contiguous float64 by
+        # construction (kernel outputs, ``from_reduction`` buffers,
+        # pinned/candidate arrays), so the wrapper's checks are skipped.
+        n_out = win_hi - win_lo + 1
+        best = np.empty(n_out)
+        arg = np.empty(n_out, dtype=np.int64)
+        lib.combine(
+            a.energy.ctypes.data,
+            la,
+            b.energy.ctypes.data,
+            b.energy.size,
+            win_lo - lo,
+            win_hi - lo,
+            best.ctypes.data,
+            arg.ctypes.data,
+        )
+    else:
+        lb = b.energy.size
+        width = la + lb - 1
+        buf = np.empty((la, width + 1))
+        buf[:, lb:] = np.inf
+        np.add(a.energy[:, None], b.energy[None, :], out=buf[:, :lb])
+        sums = buf.reshape(-1)[: la * width].reshape(la, width)
+        seg = sums[:, win_lo - lo : win_hi - lo + 1]
+        arg = seg.argmin(axis=0)
+        best = seg[arg, np.arange(arg.size)]
+    node.curve = EnergyCurve.from_reduction(win_lo, best)
+    arg = arg + a.w_min
+    node.choice = arg.tolist()
+    node.w_lo = win_lo
+    return nom_la * nom_lb
 
 
 def _internal_bottom_up(root: _Node) -> List[_Node]:
@@ -178,11 +264,34 @@ def _internal_bottom_up(root: _Node) -> List[_Node]:
     return out
 
 
+def _column_choice(node: _Node, w: int) -> int:
+    """First-minimum left allocation of one combined column, on demand.
+
+    The accelerated path never materialises choice tables (the hot loop
+    only needs combined *values*); a back-track query recomputes the one
+    column it visits from the node's child curves — which are always the
+    exact operands the node's values were combined from (path updates
+    recombine every ancestor of a changed leaf).  Same candidate sums,
+    same first-minimum tie-break as the eager table; visited columns are
+    always part of a feasible (finite) split, where the two agree
+    unconditionally.
+    """
+    a, b = node.left.curve, node.right.curve
+    lo = max(a.w_min, w - b.w_max)
+    hi = min(a.w_max, w - b.w_min)
+    seg_a = a.energy[lo - a.w_min : hi - a.w_min + 1]
+    seg_b = b.energy[w - hi - b.w_min : w - lo - b.w_min + 1][::-1]
+    sums = seg_a + seg_b
+    return lo + int(sums.argmin())
+
+
 def _backtrack(node: _Node, w: int, out: List[int]) -> None:
     """Walk choice tables down a (sub)tree, appending leaf allocations.
 
     Iterative pre-order (left subtree fully before right), so the output
-    order matches the leaf order.
+    order matches the leaf order.  Nodes combined by the accelerated
+    values-only path hold no table (``choice`` is None) and answer
+    through :func:`_column_choice`.
     """
     stack = [(node, int(w))]
     while stack:
@@ -190,7 +299,10 @@ def _backtrack(node: _Node, w: int, out: List[int]) -> None:
         if node.left is None:
             out.append(w)
             continue
-        wa = node.choice[w - node.w_lo]
+        if node.choice is None:
+            wa = _column_choice(node, w)
+        else:
+            wa = node.choice[w - node.w_lo]
         stack.append((node.right, w - wa))
         stack.append((node.left, wa))
 
@@ -231,7 +343,12 @@ class ReductionTree:
     exact.
     """
 
-    def __init__(self, curves: Sequence[EnergyCurve], order: str = "natural"):
+    def __init__(
+        self,
+        curves: Sequence[EnergyCurve],
+        order: str = "natural",
+        acceleration: Optional[tuple] = None,
+    ):
         if not curves:
             raise ValueError("need at least one curve")
         if order not in ("natural", "pinned_first"):
@@ -239,6 +356,16 @@ class ReductionTree:
                 f"unknown leaf order {order!r}; options: natural, pinned_first"
             )
         self.order = order
+        #: ``(budget, leaf_lo, leaf_hi)`` enabling the budget-windowed
+        #: combine path (plus the compiled kernel when available), or
+        #: None for the PR-4-era full combines.  See
+        #: :meth:`set_acceleration`; results and accounting are identical
+        #: either way, which is why the wave-batched simulator can flip
+        #: it on freely while the scalar oracle leaves it off.
+        self.acceleration = None
+        if acceleration is not None:
+            self._validate_acceleration(acceleration)
+            self.acceleration = tuple(acceleration)
         if order == "pinned_first":
             # Stable partition: single-point curves first, everything else
             # after, both in their original relative order.
@@ -254,14 +381,34 @@ class ReductionTree:
         self._leaf_of = {orig: pos for pos, orig in enumerate(perm)}
         self._root = _pair_up(list(self._leaves))
         self._internal = _internal_bottom_up(self._root)
+        for leaf in self._leaves:
+            if self.acceleration is not None:
+                leaf.curve = self._contiguous_leaf(leaf.curve)
+            leaf.nom_size = leaf.curve.energy.size
+        for node in self._internal:
+            node.n_leaves = node.left.n_leaves + node.right.n_leaves
+        if self.acceleration is not None:
+            self._derive_windows()
+        combine = (
+            _combine_node_accel if self.acceleration is not None else _combine_node
+        )
         ops = 0
         for node in self._internal:
             if node is not self._root:
-                ops += _combine_node(node)
+                ops += combine(node)
         #: Cells touched building every non-root combine once.
         self.build_operations = ops
         self._w_min_total = sum(c.w_min for c in curves)
         self._w_max_total = sum(c.w_max for c in curves)
+        #: Accelerated-path evaluation memo: (budget, total, ops, extract)
+        #: valid while no update has touched the tree since it was
+        #: computed — a skipped-update invocation re-reads the identical
+        #: root state, so replaying the triple (including the charged
+        #: window size) is exact.
+        self._eval_cache = None
+        #: Reusable ctypes argument buffers of the native path update.
+        self._c_bufs = None
+        self._c_scratch = None
 
     @property
     def n_leaves(self) -> int:
@@ -278,35 +425,193 @@ class ReductionTree:
     def leaf_curve(self, index: int) -> EnergyCurve:
         return self._leaves[self._leaf_of[index]].curve
 
+    @staticmethod
+    def _contiguous_leaf(curve: EnergyCurve) -> EnergyCurve:
+        """A C-contiguous-energy view of a leaf curve (accelerated path).
+
+        The compiled kernels read raw ``energy`` buffers; curves the
+        managers install are contiguous already (kernel outputs, pinned
+        arrays) and pass through untouched — object identity preserved,
+        which callers rely on — while a caller-supplied strided view is
+        repacked once at install.
+        """
+        if curve.energy.flags.c_contiguous:
+            return curve
+        return EnergyCurve(curve.ways, np.ascontiguousarray(curve.energy))
+
+    @staticmethod
+    def _validate_acceleration(acceleration) -> None:
+        budget, leaf_lo, leaf_hi = acceleration
+        if leaf_lo < 1 or leaf_hi < leaf_lo:
+            raise ValueError("leaf bounds must satisfy 1 <= leaf_lo <= leaf_hi")
+        if budget < 1:
+            raise ValueError("budget must be >= 1")
+
+    def _derive_windows(self) -> None:
+        """Fixed per-node budget windows from universal leaf bounds.
+
+        Every leaf curve the managers ever install spans a subset of
+        ``[leaf_lo, leaf_hi]`` ways (candidate range plus the pinned
+        baseline point).  A node covering ``k`` of the ``n`` leaves can
+        therefore only be read — by the root evaluation or any
+        back-track — at way counts ``w`` with
+        ``budget - leaf_hi*(n-k) <= w <= budget - leaf_lo*(n-k)``: the
+        other ``n-k`` leaves must absorb exactly ``budget - w``.  The
+        bounds depend on nothing that changes during a run, so windows
+        are derived once and are never stale.
+        """
+        budget, leaf_lo, leaf_hi = self.acceleration
+        n = len(self._leaves)
+        for node in self._internal:
+            rest = n - node.n_leaves
+            node.win_lo = budget - leaf_hi * rest
+            node.win_hi = budget - leaf_lo * rest
+
+    def set_acceleration(
+        self, budget: int, leaf_lo: int, leaf_hi: int
+    ) -> None:
+        """Enable the windowed/native combine path for one fixed budget.
+
+        Applies to every combine from now on; curves already combined at
+        full width stay valid (a wider column range is always a superset
+        of the window).  Evaluation is then only legal at ``budget`` —
+        other way totals could need columns the windows never
+        materialise — and :meth:`evaluate` enforces that.  Values,
+        choices and charged cells are bit-identical to the unaccelerated
+        path (differentially tested); only wall-clock changes.
+        """
+        acceleration = (int(budget), int(leaf_lo), int(leaf_hi))
+        self._validate_acceleration(acceleration)
+        self.acceleration = acceleration
+        self._eval_cache = None
+        for leaf in self._leaves:
+            leaf.curve = self._contiguous_leaf(leaf.curve)
+        self._derive_windows()
+
     def update(self, index: int, curve: EnergyCurve) -> int:
         """Replace one leaf's curve; recombine its path; return ops."""
         leaf = self._leaves[self._leaf_of[index]]
         old = leaf.curve
+        if self.acceleration is not None:
+            curve = self._contiguous_leaf(curve)
         leaf.curve = curve
+        leaf.nom_size = curve.energy.size
         self._w_min_total += curve.w_min - old.w_min
         self._w_max_total += curve.w_max - old.w_max
+        self._eval_cache = None
+        if self.acceleration is not None:
+            lib = _native_opt.raw_lib()
+            if lib is not None:
+                return self._update_path_native(lib, leaf)
+            combine = _combine_node_accel
+        else:
+            combine = _combine_node
         ops = 0
         node = leaf.parent
         while node is not None and node is not self._root:
-            ops += _combine_node(node)
+            ops += combine(node)
             node = node.parent
+        return ops
+
+    def _update_path_native(self, lib, leaf: _Node) -> int:
+        """One FFI call recombines the whole leaf-to-root path.
+
+        Stages each level's sibling pointer, window and output buffers
+        into reusable ctypes arrays, then lets the compiled
+        ``path_update`` chain the windowed combines (level ``l``'s output
+        is level ``l+1``'s path-side operand).  Cell arithmetic,
+        tie-breaks and the charged nominal bill are exactly the
+        per-node path's (differentially tested); only FFI and Python
+        per-combine overhead disappears.
+        """
+        bufs = self._c_bufs
+        if bufs is None:
+            depth = 48  # >= ceil(log2(n_leaves)) for any conceivable tree
+            bufs = self._c_bufs = (
+                (ctypes.c_void_p * depth)(),  # sibling energies
+                (ctypes.c_int64 * depth)(),  # sibling widths
+                (ctypes.c_int64 * depth)(),  # sibling-is-left flags
+                (ctypes.c_int64 * depth)(),  # first output column
+                (ctypes.c_int64 * depth)(),  # last output column
+                (ctypes.c_void_p * depth)(),  # output energies
+            )
+        sibs, sib_ns, sib_left, w0s, w1s, bests = bufs
+        child = leaf
+        cur_lo = leaf.curve.w_min
+        cur_n = leaf.curve.energy.size
+        cur_nom = leaf.nom_size
+        node = leaf.parent
+        root = self._root
+        ops = 0
+        outs = []
+        n_levels = 0
+        while node is not None and node is not root:
+            path_is_left = node.left is child
+            sib = node.right if path_is_left else node.left
+            sc = sib.curve
+            nat_lo = cur_lo + sc.w_min
+            nat_hi = cur_lo + cur_n - 1 + sc.w_max
+            win_lo = max(nat_lo, node.win_lo)
+            win_hi = min(nat_hi, node.win_hi)
+            if win_lo > win_hi:  # pragma: no cover - budget validated
+                raise ValueError("empty budget window; budget outside domain")
+            n_out = win_hi - win_lo + 1
+            best = np.empty(n_out)
+            sibs[n_levels] = sc.energy.ctypes.data
+            sib_ns[n_levels] = sc.energy.size
+            sib_left[n_levels] = 0 if path_is_left else 1
+            w0s[n_levels] = win_lo - nat_lo
+            w1s[n_levels] = win_hi - nat_lo
+            bests[n_levels] = best.ctypes.data
+            ops += cur_nom * sib.nom_size
+            cur_nom = cur_nom + sib.nom_size - 1
+            outs.append((node, win_lo, best, cur_nom))
+            cur_lo, cur_n = win_lo, n_out
+            child = node
+            node = node.parent
+            n_levels += 1
+        if n_levels == 0:
+            return 0
+        scratch = self._c_scratch
+        if scratch is None or scratch.size <= self._w_max_total:
+            # Reversal scratch for the kernel: any operand's width is
+            # bounded by the widest possible combined domain.
+            scratch = self._c_scratch = np.empty(self._w_max_total + 1)
+        lib.path_update(
+            n_levels,
+            leaf.curve.energy.ctypes.data,
+            leaf.curve.energy.size,
+            sibs,
+            sib_ns,
+            sib_left,
+            w0s,
+            w1s,
+            bests,
+            scratch.ctypes.data,
+        )
+        for node, win_lo, best, nom in outs:
+            node.curve = EnergyCurve.from_reduction(win_lo, best)
+            node.choice = None  # back-tracks recover columns on demand
+            node.w_lo = win_lo
+            node.nom_size = nom
         return ops
 
     def path_operations(self, index: int) -> int:
         """Cells :meth:`update` would charge for ``index`` — without work.
 
         The combine cost of a node is the product of its children's
-        current curve widths, so the whole leaf-to-root bill is known
-        without recombining anything.  Callers that can prove a leaf's
-        curve is unchanged (e.g. a memoized local result feeding the same
-        curve object back) charge this instead of re-running
-        :meth:`update`, keeping ``dp_operations`` identical between the
-        skipped and the recomputed path.
+        current *nominal* curve widths (the accelerated path materialises
+        fewer columns but charges the same bill), so the whole
+        leaf-to-root cost is known without recombining anything.  Callers
+        that can prove a leaf's curve is unchanged (e.g. a memoized local
+        result feeding the same curve object back) charge this instead of
+        re-running :meth:`update`, keeping ``dp_operations`` identical
+        between the skipped and the recomputed path.
         """
         ops = 0
         node = self._leaves[self._leaf_of[index]].parent
         while node is not None and node is not self._root:
-            ops += node.left.curve.energy.size * node.right.curve.energy.size
+            ops += node.left.nom_size * node.right.nom_size
             node = node.parent
         return ops
 
@@ -327,6 +632,14 @@ class ReductionTree:
                 f"budget {total_ways} outside combined domain "
                 f"[{self.w_min_total}, {self.w_max_total}]"
             )
+        if self.acceleration is not None and total_ways != self.acceleration[0]:
+            raise ValueError(
+                f"accelerated tree is windowed for budget "
+                f"{self.acceleration[0]}; cannot evaluate {total_ways}"
+            )
+        cache = self._eval_cache
+        if cache is not None and cache[0] == total_ways:
+            return cache[1], cache[2], cache[3]
         root = self._root
         if root.left is None:
             total = root.curve.energy_at(total_ways)
@@ -360,7 +673,13 @@ class ReductionTree:
                 unpermuted[orig] = out[pos]
             return unpermuted
 
-        return float(total), int(sums.size), extract
+        result = (float(total), int(sums.size), extract)
+        if self.acceleration is not None:
+            # Memoize only on the accelerated path — the PR-4 cost
+            # profile (one window evaluation per invocation) stays
+            # measurable on the plain tree.
+            self._eval_cache = (total_ways, *result)
+        return result
 
     def solve(self, total_ways: int) -> GlobalOptResult:
         """Optimal partition for the budget from the current curves."""

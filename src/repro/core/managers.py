@@ -56,7 +56,12 @@ from repro.config import Setting, SystemConfig
 from repro.core.energy_curve import EnergyCurve
 from repro.core.energy_model import OnlineEnergyModel
 from repro.core.local_cache import DEFAULT_CAPACITY, LocalOptMemo, local_memo_key
-from repro.core.local_opt import LocalOptKernel, LocalOptResult, RMCapabilities
+from repro.core.local_opt import (
+    LocalOptKernel,
+    LocalOptResult,
+    RMCapabilities,
+    optimize_local_batch,
+)
 from repro.core.global_opt import ReductionTree, partition_ways
 from repro.core.perf_models import ModelInputs, PerformanceModel
 from repro.core.qos import QoSPolicy
@@ -202,11 +207,28 @@ class ResourceManager:
             self._curve_energy_at(c, self._current_ways[i])
             for i, c in enumerate(self._curves)
         ]
+        #: Memoized keep-energy sum (``False`` = dirty; wave-only).
+        self._keep_energy: object = False
         #: The settings map of the last decision; replayed as-is when an
         #: invocation provably changes nothing (memo-hit invoker + the
         #: hysteresis keep branch).  The simulator uses map *identity*
         #: to skip its per-core setting diff entirely.
         self._last_settings: Optional[Dict[int, Setting]] = None
+        #: Wave acceleration of the reduction tree (budget-windowed +
+        #: native combines) — enabled by the wave-batched simulator;
+        #: results and accounting are bit-identical, only wall-clock
+        #: differs, so the scalar oracle leaves it off.  The window
+        #: parameters are the run-invariant bounds every leaf curve obeys:
+        #: the candidate-way range plus the pinned baseline point.
+        self._accelerate = False
+        #: The run-invariant baseline setting (hot-path constant).
+        self._baseline = system.baseline_setting()
+        candidates = system.candidate_ways()
+        self._accel_params = (
+            system.total_ways,
+            min(min(candidates), self._baseline.ways),
+            max(max(candidates), self._baseline.ways),
+        )
 
     def _pinned_curves(self) -> List[EnergyCurve]:
         pinned = EnergyCurve.pinned(self.system.baseline_setting().ways)
@@ -246,13 +268,84 @@ class ResourceManager:
             raise KeyError(f"unknown core {core_id}")
         return self._qos[core_id]
 
+    @property
+    def wants_wave_precompute(self) -> bool:
+        """Whether speculative wave batching can pay off for this manager.
+
+        True only when results are memoized — the batch lands in the memo
+        for the per-boundary observes to replay.  The wave simulator
+        skips building speculation inputs entirely when this is False.
+        """
+        return self.local_memo is not None
+
+    def set_wave_acceleration(self, enabled: bool) -> None:
+        """Toggle the accelerated reduction path for future trees.
+
+        The wave-batched simulator turns this on at run start (right
+        after ``reset``, while no tree exists); the next lazily built
+        tree then combines through the budget-windowed/native kernel.
+        Decisions and accounting are bit-identical either way — the
+        windowed combine materialises only columns no feasible split can
+        avoid touching and charges the nominal cell bill — so the knob
+        only moves wall-clock.  An already built tree keeps its mode (a
+        mid-run rebuild would re-charge build operations).
+        """
+        self._accelerate = bool(enabled)
+
+    def precompute_wave(self, wave) -> int:
+        """Batch the local optimisations of one invocation wave.
+
+        ``wave`` is a sequence of ``(core_id, inputs)`` pairs — every core
+        whose interval boundary lands in the simulator's current wave.
+        Keys already answerable by the memo (either tier) are skipped; the
+        rest run through one :func:`optimize_local_batch` 4-D tensor pass
+        and are seeded into the memo, so the per-boundary ``observe``
+        calls that follow replay them instead of running the grid
+        pipeline one core at a time.  Purely an execution strategy:
+        results are bit-identical to per-observe computation (the batch
+        is differentially tested against the scalar kernel), decisions
+        and accounting are untouched, and a speculation that a mid-wave
+        settings change invalidates simply misses and recomputes.
+
+        Returns the number of results batched (0 when memoization is off).
+        """
+        memo = self.local_memo
+        if memo is None:
+            return 0
+        pending_keys = []
+        pending_inputs = []
+        pending_qos = []
+        seen = set()
+        for core_id, inputs in wave:
+            qos = self.qos_for(core_id)
+            key = local_memo_key(inputs, self.perf_model, qos)
+            if key in seen or memo.peek(key) is not None:
+                continue
+            seen.add(key)
+            pending_keys.append(key)
+            pending_inputs.append(inputs)
+            pending_qos.append(qos)
+        if not pending_keys:
+            return 0
+        results = optimize_local_batch(
+            pending_inputs,
+            self.perf_model,
+            self.energy_model,
+            self.system,
+            self.capabilities,
+            pending_qos,
+        )
+        for key, result in zip(pending_keys, results):
+            memo.seed(key, result)
+        return len(results)
+
     def _core_state(self, core_id: int) -> _CoreState:
         if core_id not in self._cores:
             raise KeyError(f"unknown core {core_id}")
         return self._cores[core_id]
 
     def _reoptimize(self, changed_core: int, result: LocalOptResult) -> RMDecision:
-        baseline = self.system.baseline_setting()
+        baseline = self._baseline
         state = self._cores[changed_core]
         #: A memo hit that replays the exact result object whose curve the
         #: reduction already holds leaves the whole global state
@@ -273,23 +366,57 @@ class ResourceManager:
             self._energy_at_current[changed_core] = self._curve_energy_at(
                 self._curves[changed_core], self._current_ways[changed_core]
             )
+            self._keep_energy = False
         curves = self._curves
         total_energy, dp_operations, extract_ways = self._partition(
             changed_core, unchanged
         )
 
         keep_energy = self._energy_at_partition()
+        last = self._last_settings
         if keep_energy is not None and (
             keep_energy - total_energy < self.switch_threshold * abs(keep_energy)
         ):
             # Not worth re-partitioning: keep the current way split but
             # still refresh the per-way optimal (c, f) choices.  The
             # optimal allocation is never extracted in this branch.
-            if unchanged and self._last_settings is not None:
+            if unchanged and last is not None:
                 # Nothing moved at all: replay the previous settings map
                 # (same object — the simulator skips its diff on it).
                 return RMDecision(
-                    settings=self._last_settings,
+                    settings=last,
+                    local_evaluations=result.evaluations,
+                    dp_operations=dp_operations,
+                    total_predicted_energy=keep_energy,
+                )
+            if last is not None and self._accelerate:
+                # Only the invoking core's local result is fresh and the
+                # way split is kept, so every other core's entry in the
+                # previous map is still value-correct for its allocation.
+                # If the invoker's (c*, f*) at its kept allocation comes
+                # out value-equal too, the previous map *is* this
+                # decision — replay it by identity and the simulator
+                # skips its whole settings diff.  (Wave-only, like every
+                # acceleration: the scalar oracle keeps the PR-4 cost
+                # profile; the decision *values* are identical either
+                # way.)
+                setting_b = self._setting_for(
+                    changed_core, self._current_ways[changed_core], baseline
+                )
+                if setting_b == last[changed_core]:
+                    return RMDecision(
+                        settings=last,
+                        local_evaluations=result.evaluations,
+                        dp_operations=dp_operations,
+                        total_predicted_energy=keep_energy,
+                    )
+                # The kept split leaves every other core's entry as-is;
+                # only the invoker's (c*, f*) moved.
+                settings = dict(last)
+                settings[changed_core] = setting_b
+                self._last_settings = settings
+                return RMDecision(
+                    settings=settings,
                     local_evaluations=result.evaluations,
                     dp_operations=dp_operations,
                     total_predicted_energy=keep_energy,
@@ -299,24 +426,34 @@ class ResourceManager:
         else:
             ways = extract_ways()
 
-        settings: Dict[int, Setting] = {}
-        for i, w in enumerate(ways):
-            w = int(w)
-            memo = self._settings_memo[i]
-            setting = memo.get(w)
-            if setting is None:
-                core_result = self._cores[i].result
-                if core_result is None or not core_result.is_feasible(w):
-                    # No observations yet (pinned curve) or a defensive
-                    # fallback for an infeasible pick: baseline (c, f) at w.
-                    setting = baseline.replace(ways=w)
-                else:
-                    setting = core_result.setting_for(w)
-                memo[w] = setting
-            settings[i] = setting
-            if w != self._current_ways[i]:
-                self._current_ways[i] = w
-                self._energy_at_current[i] = self._curve_energy_at(curves[i], w)
+        if last is None or not self._accelerate:
+            settings: Dict[int, Setting] = {}
+            for i, w in enumerate(ways):
+                w = int(w)
+                settings[i] = self._setting_for(i, w, baseline)
+                if w != self._current_ways[i]:
+                    self._current_ways[i] = w
+                    self._energy_at_current[i] = self._curve_energy_at(
+                        curves[i], w
+                    )
+                    self._keep_energy = False
+        else:
+            # Accelerated rebuild from the previous map: a core whose
+            # allocation did not move keeps its (value-correct) entry —
+            # only moved cores and the invoking core (whose per-way memo
+            # was just invalidated) re-derive their setting.
+            settings = dict(last)
+            for i, w in enumerate(ways):
+                w = int(w)
+                if w != self._current_ways[i]:
+                    settings[i] = self._setting_for(i, w, baseline)
+                    self._current_ways[i] = w
+                    self._energy_at_current[i] = self._curve_energy_at(
+                        curves[i], w
+                    )
+                    self._keep_energy = False
+                elif i == changed_core:
+                    settings[i] = self._setting_for(i, w, baseline)
         self._last_settings = settings
         return RMDecision(
             settings=settings,
@@ -324,6 +461,21 @@ class ResourceManager:
             dp_operations=dp_operations,
             total_predicted_energy=total_energy,
         )
+
+    def _setting_for(self, i: int, w: int, baseline: Setting) -> Setting:
+        """The memoized per-way setting of one core (see ``_settings_memo``)."""
+        memo = self._settings_memo[i]
+        setting = memo.get(w)
+        if setting is None:
+            core_result = self._cores[i].result
+            if core_result is None or not core_result.is_feasible(w):
+                # No observations yet (pinned curve) or a defensive
+                # fallback for an infeasible pick: baseline (c, f) at w.
+                setting = baseline.replace(ways=w)
+            else:
+                setting = core_result.setting_for(w)
+            memo[w] = setting
+        return setting
 
     def _partition(self, changed_core: int, leaf_unchanged: bool = False):
         """Run the global reduction in the configured mode.
@@ -348,7 +500,10 @@ class ResourceManager:
                 lambda: list(result.ways),
             )
         if self._tree is None:
-            self._tree = ReductionTree(self._curves)
+            self._tree = ReductionTree(
+                self._curves,
+                acceleration=self._accel_params if self._accelerate else None,
+            )
             ops = self._tree.build_operations
         elif leaf_unchanged:
             ops = self._tree.path_operations(changed_core)
@@ -363,13 +518,21 @@ class ResourceManager:
         None when any core's current allocation is infeasible or outside
         its fresh curve (forcing a re-partition).  Sums the per-core
         cached values left to right — the same floats in the same order
-        as reading each curve directly, hence bit-compatible.
+        as reading each curve directly, hence bit-compatible.  Under
+        wave acceleration the sum is memoized until any summand changes
+        (``_keep_energy`` sentinel ``False`` = dirty): re-summing
+        unchanged floats in the same order reproduces the identical
+        total, so the replay is exact.
         """
+        if self._accelerate and self._keep_energy is not False:
+            return self._keep_energy
         total = 0.0
         for e in self._energy_at_current:
             if e is None:
-                return None
+                total = None
+                break
             total += e
+        self._keep_energy = total
         return total
 
     def reset(self) -> None:
@@ -386,6 +549,7 @@ class ResourceManager:
             self._curve_energy_at(c, self._current_ways[i])
             for i, c in enumerate(self._curves)
         ]
+        self._keep_energy = False
         self._last_settings = None
         if self.local_memo is not None:
             self.local_memo.clear()
@@ -420,6 +584,14 @@ class IdleRM(ResourceManager):
             dp_operations=0,
             total_predicted_energy=float("nan"),
         )
+
+    @property
+    def wants_wave_precompute(self) -> bool:
+        return False
+
+    def precompute_wave(self, wave) -> int:
+        """Idle never optimises: there is nothing to batch."""
+        return 0
 
     def reset(self) -> None:
         super().reset()

@@ -61,6 +61,30 @@ class IntervalCounters:
     # The residual error of treating dependency stalls as size-invariant is
     # one of the model-error sources the paper's QoS study quantifies.
 
+    def __hash__(self) -> int:
+        # Counters objects are memoized per (record, setting) and recur
+        # at every boundary of a recurring phase, but the generated
+        # dataclass hash re-tuples ten fields per call — and the local
+        # memo hashes the key tuple on every probe.  Cache it; equality
+        # stays the generated field comparison, and equal instances hash
+        # equal because the hash is a pure function of the same fields.
+        h = self.__dict__.get("_hash")
+        if h is None:
+            h = hash((
+                self.setting,
+                self.n_instructions,
+                self.time_s,
+                self.t1_cycles,
+                self.mem_time_s,
+                self.misses_current,
+                self.lm_current,
+                self.llc_accesses,
+                self.core_dynamic_j,
+                self.core_static_j,
+            ))
+            object.__setattr__(self, "_hash", h)
+        return h
+
     @property
     def t0_cycles(self) -> float:
         """Eq. 1's ``T0 = T - T1 - Tmem`` in cycles at the run frequency."""
@@ -256,6 +280,45 @@ class PhaseRecord:
         )
         cache[setting] = counters
         return counters
+
+    def rates_at(self, setting: Setting) -> Tuple[float, float, float, float, float, float]:
+        """Simulator progress/energy rates at a setting, memoized per record.
+
+        Returns ``(tpi_s, n_instructions, epi_j, work_j_per_inst,
+        static_w, ipc)`` — exactly the fields
+        :meth:`~repro.simulator.rmsim._CoreStates.refresh_rates` derives,
+        computed with the same float operations in the same order, so a
+        replay is bit-identical to a fresh derivation.  Rates are a pure
+        function of the (immutable record, setting) pair and the pair
+        recurs at every interval boundary of a recurring phase, which is
+        what makes the wave-batched event loop's boundary path a dict
+        lookup instead of five grid reads and an argmin.
+        """
+        cache = self.__dict__.setdefault("_rates_cache", {})
+        hit = cache.get(setting)
+        if hit is not None:
+            return hit
+        c = int(setting.core)
+        fi = self.f_index(setting.f_ghz)
+        wi = self.w_index(setting.ways)
+        n = self.n_instructions
+        epi = float(self.core_dyn_grid[c, fi]) / n
+        counters_ipc = n / (self.time_grid[c, fi, wi] * setting.f_ghz * 1e9)
+        rates = (
+            float(self.time_grid[c, fi, wi]) / n,
+            n,
+            epi,
+            epi + float(self.mem_energy_curve[wi]) / n,
+            float(self.core_static_power_grid[c, fi]),
+            max(float(counters_ipc), 1e-3),
+        )
+        if rates[0] <= 0:
+            # The wave loop validates progress state here (once per new
+            # (record, setting) pair) instead of per event; a degenerate
+            # time grid must fail loudly, not spin the event loop.
+            raise ValueError("invalid progress state")
+        cache[setting] = rates
+        return rates
 
     def atd_report(self) -> ATDReport:
         """The ATD's end-of-interval report for this phase.

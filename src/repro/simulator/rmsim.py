@@ -22,19 +22,53 @@ Per-core execution state lives in a struct-of-arrays container
 (:class:`_CoreStates`): the per-event hot path — boundary selection and
 :func:`advance_cores` — is pure NumPy over those arrays, so a 32-core
 system pays a handful of array operations per event instead of a Python
-loop over cores.  The scalar loop survives as
-:func:`advance_cores_reference`, the differential-testing oracle (the
-replay engine's ``LRUStack`` pattern).
+loop over cores.
+
+The event loop itself runs in one of three *wave modes*:
+
+* ``"step"`` (default) — the wave-batched loop: each event also names the
+  *boundary wave* (every core whose boundary lands in the same wall-clock
+  step), probes the local-decision memo for the whole wave in one batched
+  lookup and routes the misses through a single
+  :func:`~repro.core.local_opt.optimize_local_batch` tensor pass
+  (:meth:`~repro.core.managers.ResourceManager.precompute_wave`), advances
+  the cores through a zero-allocation scratch-buffered kernel
+  (:func:`advance_cores_wave`), replays progress/energy rates from the
+  per-record memo (:meth:`~repro.database.records.PhaseRecord.rates_at`)
+  and applies decisions via one vectorised settings-diff against the
+  struct-of-arrays state.  Event *sequencing* is untouched — boundaries
+  drain one at a time in the scalar order — so full runs are bit-identical
+  to the scalar oracle (differentially tested across RMs × models ×
+  overheads × reduction/local modes).
+* ``"epsilon"`` — the same loop with a configurable wave window: cores
+  whose boundaries land within ``wave_epsilon_s`` seconds of the next one
+  are batched speculatively too (a mid-wave settings change simply turns
+  the speculation into an unused memo seed — correctness never depends on
+  the window).
+* ``"scalar"`` — the PR-4-era loop, preserved verbatim as the
+  differential-testing oracle and perf baseline (the replay engine's
+  ``LRUStack`` pattern): single next boundary, one core's observe, scalar
+  per-core settings diff, no memo speculation, no persistent-memo tier,
+  no reduction-combine reuse.
+
+The mode resolves from the constructor argument, then ``REPRO_SIM_WAVE``,
+then the default; ``wave_epsilon_s`` likewise from the argument, then
+``REPRO_SIM_WAVE_EPS``.  Wave runs also engage the cross-process
+persistent local memo (``REPRO_LOCAL_MEMO``, see
+:mod:`repro.core.local_cache`) so repeated campaigns start warm.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence
+import os
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.cache.partition import RepartitionTransient
 from repro.config import Setting, SystemConfig
+from repro.core import _native_opt
+from repro.core.local_cache import persistent_memo_for
 from repro.core.managers import ResourceManager
 from repro.core.overheads import RMCostModel
 from repro.core.perf_models import ModelInputs
@@ -47,12 +81,29 @@ from repro.simulator.metrics import SettingChange, SimResult
 
 __all__ = [
     "MulticoreRMSimulator",
+    "WAVE_MODES",
     "advance_cores",
     "advance_cores_reference",
+    "advance_cores_wave",
 ]
 
 #: Violations smaller than this relative slack are float noise, not QoS misses.
 _VIOLATION_EPS = 1e-6
+
+#: The three event-loop modes (see module docstring).
+WAVE_MODES = ("scalar", "step", "epsilon")
+
+#: Environment override for the event-loop mode.
+WAVE_ENV = "REPRO_SIM_WAVE"
+
+#: Environment override for the epsilon-mode wave window (seconds).
+WAVE_EPS_ENV = "REPRO_SIM_WAVE_EPS"
+
+#: Default epsilon window: a fraction of a typical interval duration —
+#: wide enough to co-batch cores drifting apart by enforcement stalls,
+#: narrow enough that mid-wave settings changes (which waste the
+#: speculation) stay rare.
+DEFAULT_WAVE_EPS_S = 1e-4
 
 
 class _CoreStates:
@@ -63,6 +114,14 @@ class _CoreStates:
     are refreshed per core (:meth:`refresh_rates`) only when that core's
     (record, setting) pair actually changed — the refreshed values are a
     pure function of the pair, so skipping untouched cores is exact.
+
+    For the wave loop the container additionally mirrors the current
+    settings as three plain arrays (``set_c``/``set_f``/``set_w``) so a
+    decision diffs against the whole system in a handful of vector
+    compares, and owns the preallocated scratch buffers of the
+    zero-allocation advance kernel.  ``rate_refreshes`` counts every rate
+    derivation (memoized or not) — the wave tests assert that replayed
+    settings maps trigger exactly one refresh per boundary.
     """
 
     __slots__ = (
@@ -86,6 +145,19 @@ class _CoreStates:
         "settings",
         "intervals",
         "apps",
+        "set_c",
+        "set_f",
+        "set_w",
+        "rate_refreshes",
+        "any_finished",
+        "_active",
+        "_advlib",
+        "_adv_ptrs",
+        "_dts",
+        "_remaining",
+        "_served",
+        "_dinstr",
+        "_tmp",
     )
 
     def __init__(self, n: int):
@@ -109,6 +181,26 @@ class _CoreStates:
         self.settings: List[Setting] = [None] * n  # type: ignore[list-item]
         self.intervals = [0] * n
         self.apps: List[str] = [""] * n
+        # Settings mirror for the vectorised diff (wave loop).
+        self.set_c = np.zeros(n, dtype=np.int64)
+        self.set_f = np.zeros(n)
+        self.set_w = np.zeros(n, dtype=np.int64)
+        self.rate_refreshes = 0
+        self.any_finished = False
+        #: ``~finished`` maintained as its own array (wave-loop guard
+        #: reductions read it every event).
+        self._active = np.ones(n, dtype=bool)
+        #: Compiled fast-path advance (None when no compiler): the
+        #: argument pointers are cached once — every array above lives
+        #: for the container's lifetime and is never reallocated.
+        self._advlib = _native_opt.raw_lib()
+        self._adv_ptrs = None
+        # Scratch buffers of the zero-allocation event kernels.
+        self._dts = np.empty(n)
+        self._remaining = np.empty(n)
+        self._served = np.empty(n)
+        self._dinstr = np.empty(n)
+        self._tmp = np.empty(n)
 
     @property
     def remaining_instr(self) -> np.ndarray:
@@ -128,6 +220,87 @@ class _CoreStates:
         self.static_w[i] = float(rec.core_static_power_grid[c, fi])
         counters_ipc = n / (rec.time_grid[c, fi, wi] * s.f_ghz * 1e9)
         self.ipc[i] = max(float(counters_ipc), 1e-3)
+        self.rate_refreshes += 1
+
+    def refresh_rates_memo(self, i: int) -> None:
+        """:meth:`refresh_rates` through the per-record rates memo.
+
+        :meth:`PhaseRecord.rates_at` performs the identical float
+        operations, so the assigned values are bit-equal; recurring
+        (record, setting) pairs — every steady-state boundary — replay a
+        cached tuple instead of re-deriving five grid reads and a ladder
+        argmin.  Finished cores keep their energy rates pinned at zero
+        (they still make progress — tpi and ipc stay real — but accrue
+        no energy, the reference's ``active`` mask semantics).
+        """
+        (
+            self.tpi_s[i],
+            self.n_instructions[i],
+            epi,
+            work,
+            static,
+            self.ipc[i],
+        ) = self.records[i].rates_at(self.settings[i])
+        if self.finished[i]:
+            self.epi_j[i] = 0.0
+            self.work_j_per_inst[i] = 0.0
+            self.static_w[i] = 0.0
+        else:
+            self.epi_j[i] = epi
+            self.work_j_per_inst[i] = work
+            self.static_w[i] = static
+        self.rate_refreshes += 1
+
+    def zero_finished_rates(self, mask: np.ndarray) -> None:
+        """Pin just-finished cores' energy rates to exact zeros.
+
+        Lets the fast advance path update every core unmasked: finished
+        cores then contribute ``+0.0`` per event — the bitwise identity
+        on their (non-negative) accumulators.
+        """
+        self.epi_j[mask] = 0.0
+        self.work_j_per_inst[mask] = 0.0
+        self.static_w[mask] = 0.0
+
+    def sync_setting_arrays(self, i: int) -> None:
+        """Mirror ``settings[i]`` into the vector-diff arrays."""
+        s = self.settings[i]
+        self.set_c[i] = s.core
+        self.set_f[i] = s.f_ghz
+        self.set_w[i] = s.ways
+
+    def diff_settings(self, settings_map: Dict[int, Setting]) -> List[int]:
+        """Value-diff a decision map against the current settings.
+
+        Identity pre-pass first: a core whose setting did not move almost
+        always receives the very object already applied (the managers'
+        per-way setting memo), so one pointer compare per core prunes the
+        candidate set to the handful of fresh objects; those few are
+        value-compared directly.  A large surviving candidate set (a real
+        re-partition) falls back to one vectorised triple-compare against
+        the struct-of-arrays settings mirror — ``!=`` on
+        :class:`Setting` is exactly this (core, f, ways) comparison.
+        Returns the changed core ids ascending (the scalar loop's visit
+        order); the caller syncs the mirror as it applies each change.
+        """
+        n = self.n
+        settings = self.settings
+        vals = [settings_map[i] for i in range(n)]
+        cand = [i for i in range(n) if vals[i] is not settings[i]]
+        if len(cand) <= 8:
+            return [i for i in cand if vals[i] != settings[i]]
+        new_f = np.fromiter((s.f_ghz for s in vals), dtype=float, count=n)
+        new_w = np.fromiter((s.ways for s in vals), dtype=np.int64, count=n)
+        new_c = np.fromiter((s.core for s in vals), dtype=np.int64, count=n)
+        changed = (new_f != self.set_f) | (new_w != self.set_w) | (
+            new_c != self.set_c
+        )
+        if not changed.any():
+            return []
+        return np.nonzero(changed)[0].tolist()
+
+    def finished_all(self) -> bool:
+        return self.any_finished and bool(self.finished.all())
 
     def energy_breakdowns(self) -> List[EnergyBreakdown]:
         return [
@@ -181,6 +354,111 @@ def advance_cores(st: _CoreStates, dt: float, horizon: float) -> None:
     st.interval_elapsed_s += dt
 
 
+def advance_cores_wave(st: _CoreStates, dt: float, horizon: float) -> None:
+    """:func:`advance_cores` through preallocated scratch buffers.
+
+    Requires ``st._remaining`` to hold this event's pre-advance remaining
+    instructions (the wave loop computes it for boundary selection — the
+    advance clamp reuses it, exactly the value :func:`advance_cores`
+    would re-derive).  While no *active* core would reach the horizon
+    this event, the whole advance is one compiled call (or the unmasked
+    NumPy block below without a compiler) — exact because the
+    reference's masks then select every core, and finished cores carry
+    zeroed energy rates (each update adds ``+0.0``, the identity on
+    their non-negative accumulators).  A horizon-reaching event (at most
+    one per core per run) takes the reference's masked path.
+    """
+    if dt < 0:
+        raise ValueError("dt must be non-negative")
+    lib = st._advlib
+    if lib is not None:
+        ptrs = st._adv_ptrs
+        if ptrs is None:
+            ptrs = st._adv_ptrs = (
+                st.stall_s.ctypes.data,
+                st.tpi_s.ctypes.data,
+                st.instr_done.ctypes.data,
+                st.total_instr.ctypes.data,
+                st.interval_elapsed_s.ctypes.data,
+                st.n_instructions.ctypes.data,
+                st.epi_j.ctypes.data,
+                st.work_j_per_inst.ctypes.data,
+                st.static_w.ctypes.data,
+                st._active.ctypes.data,
+                st.core_dynamic_j.ctypes.data,
+                st.core_static_j.ctypes.data,
+                st.memory_j.ctypes.data,
+                st._dinstr.ctypes.data,
+            )
+        if lib.advance_fast(dt, horizon, st.n, *ptrs) == 0:
+            return
+        # Finish-adjacent event: nothing was mutated — fall through to
+        # the reference arithmetic below.
+    served = np.minimum(st.stall_s, dt, out=st._served)
+    d_instr = np.subtract(dt, served, out=st._dinstr)
+    np.divide(d_instr, st.tpi_s, out=d_instr)
+    limit = st._remaining
+    limit += 1e-6
+    np.minimum(d_instr, limit, out=d_instr)
+
+    tmp = np.add(st.total_instr, d_instr, out=st._tmp)
+    st.stall_s -= served
+    if np.max(tmp, initial=-np.inf, where=st._active) >= horizon:
+        _advance_finish_event(st, dt, horizon, d_instr, tmp)
+    else:
+        # No unfinished core reaches the horizon this event, so the
+        # reference's ``running`` mask selects every unfinished core —
+        # and finished cores' energy rates are pinned to exact zeros
+        # (:meth:`_CoreStates.zero_finished_rates`), making the unmasked
+        # in-place updates element-for-element identical (adding +0.0 to
+        # a non-negative accumulator is the identity).
+        np.multiply(st.epi_j, d_instr, out=tmp)
+        st.core_dynamic_j += tmp
+        mem = np.subtract(st.work_j_per_inst, st.epi_j, out=st._served)
+        mem *= d_instr
+        st.memory_j += mem
+        np.multiply(st.static_w, dt, out=tmp)
+        st.core_static_j += tmp
+    st.instr_done += d_instr
+    st.total_instr += d_instr
+    st.interval_elapsed_s += dt
+
+
+def _advance_finish_event(
+    st: _CoreStates, dt: float, horizon: float, d_instr: np.ndarray, tmp: np.ndarray
+) -> None:
+    """The rare event where some unfinished core reaches the horizon.
+
+    At most one such event per core per run, so this path is written for
+    clarity, not allocation count; the arithmetic is the reference's
+    masked block verbatim.  Every core that finishes here has its energy
+    rates zeroed so the fast path's unmasked updates stay exact.
+    """
+    active = st._active
+    crossing = active & (tmp >= horizon) & (d_instr > 0)
+    if np.any(crossing):
+        counted = np.maximum(horizon - st.total_instr[crossing], 0.0)
+        frac = counted / d_instr[crossing]
+        st.core_dynamic_j[crossing] += st.epi_j[crossing] * counted
+        st.memory_j[crossing] += (
+            st.work_j_per_inst[crossing] - st.epi_j[crossing]
+        ) * counted
+        st.core_static_j[crossing] += st.static_w[crossing] * dt * frac
+    running = active & ~crossing
+    st.core_dynamic_j[running] += st.epi_j[running] * d_instr[running]
+    st.memory_j[running] += (
+        st.work_j_per_inst[running] - st.epi_j[running]
+    ) * d_instr[running]
+    st.core_static_j[running] += st.static_w[running] * dt
+    straggler = running & (d_instr == 0.0) & (st.total_instr >= horizon)
+    newly = crossing | straggler
+    if np.any(newly):
+        st.finished[newly] = True
+        active[newly] = False
+        st.any_finished = True
+        st.zero_finished_rates(newly)
+
+
 def advance_cores_reference(st: _CoreStates, dt: float, horizon: float) -> None:
     """Scalar per-core reference for :func:`advance_cores` (testing oracle)."""
     if dt < 0:
@@ -230,6 +508,13 @@ class MulticoreRMSimulator:
     charge_overheads:
         Disable to reproduce the paper's "perfect ... overheads" studies
         (Fig. 2 uses perfect models *and* no overheads).
+    wave:
+        Event-loop mode (:data:`WAVE_MODES`); None resolves from
+        ``REPRO_SIM_WAVE`` then the ``"step"`` default.  All modes
+        produce bit-identical results; only wall-clock differs.
+    wave_epsilon_s:
+        Wave window for ``"epsilon"`` mode (seconds); None resolves from
+        ``REPRO_SIM_WAVE_EPS`` then :data:`DEFAULT_WAVE_EPS_S`.
     """
 
     def __init__(
@@ -241,6 +526,8 @@ class MulticoreRMSimulator:
         repartition_transient: RepartitionTransient | None = None,
         charge_overheads: bool = True,
         collect_history: bool = False,
+        wave: str | None = None,
+        wave_epsilon_s: float | None = None,
     ):
         self.db = db
         self.system: SystemConfig = db.system
@@ -253,6 +540,19 @@ class MulticoreRMSimulator:
         )
         self.charge_overheads = charge_overheads
         self.collect_history = collect_history
+        if wave is None:
+            wave = os.environ.get(WAVE_ENV) or "step"
+        if wave not in WAVE_MODES:
+            raise ValueError(
+                f"unknown wave mode {wave!r}; options: {WAVE_MODES}"
+            )
+        self.wave = wave
+        if wave_epsilon_s is None:
+            raw = os.environ.get(WAVE_EPS_ENV)
+            wave_epsilon_s = float(raw) if raw else DEFAULT_WAVE_EPS_S
+        if wave_epsilon_s < 0:
+            raise ValueError("wave_epsilon_s must be non-negative")
+        self.wave_epsilon_s = float(wave_epsilon_s)
 
     # ------------------------------------------------------------------
     def run(
@@ -294,14 +594,83 @@ class MulticoreRMSimulator:
             st.records[cid] = self.db.record_for_interval(name, 0)
             st.settings[cid] = baseline
             st.refresh_rates(cid)
+            st.sync_setting_arrays(cid)
 
+        history: Optional[List[SettingChange]] = [] if self.collect_history else None
+        self._configure_rm_for_mode()
+        if self.wave == "scalar":
+            totals = self._loop_scalar(st, horizon, baseline, max_events, history)
+        else:
+            totals = self._loop_wave(st, horizon, baseline, max_events, history)
+        (
+            t,
+            intervals_completed,
+            qos_checks,
+            violations,
+            rm_invocations,
+            rm_instructions,
+        ) = totals
+
+        uncore_power = self.rm.energy_model.power.uncore_power_w(n_cores)
+        return SimResult(
+            rm_name=self.rm.name,
+            apps=tuple(apps),
+            per_core_energy=st.energy_breakdowns(),
+            uncore_j=uncore_power * t,
+            t_end_s=t,
+            horizon_instructions=horizon,
+            intervals_completed=intervals_completed,
+            qos_checks=qos_checks,
+            violations=violations,
+            rm_invocations=rm_invocations,
+            rm_instructions=rm_instructions,
+            history=history,
+        )
+
+    # ------------------------------------------------------------------
+    def _configure_rm_for_mode(self) -> None:
+        """Engage (or disengage) the wave-only manager accelerations.
+
+        Wave runs turn on reduction-combine reuse and attach the
+        env-configured persistent local-memo tier; scalar runs disengage
+        both, keeping the oracle's cost profile at PR-4 parity.  Every
+        knob is execution-strategy only — decisions, accounting and
+        results are bit-identical across modes.
+        """
+        rm = self.rm
+        scalar = self.wave == "scalar"
+        set_accel = getattr(rm, "set_wave_acceleration", None)
+        if set_accel is not None:
+            set_accel(not scalar)
+        memo = getattr(rm, "local_memo", None)
+        if memo is None or not hasattr(memo, "attach_store"):
+            return
+        if scalar:
+            memo.attach_store(None)
+        else:
+            memo.attach_store(
+                persistent_memo_for(
+                    self.db, rm.perf_model.name, rm.capabilities.label
+                )
+            )
+
+    # ------------------------------------------------------------------
+    def _loop_scalar(
+        self,
+        st: _CoreStates,
+        horizon: float,
+        baseline: Setting,
+        max_events: int,
+        history: Optional[List[SettingChange]],
+    ) -> Tuple[float, int, int, List[float], int, float]:
+        """The PR-4 event loop, preserved verbatim (differential oracle)."""
+        n_cores = st.n
         t = 0.0
         intervals_completed = 0
         qos_checks = 0
         violations: List[float] = []
         rm_invocations = 0
         rm_instructions = 0.0
-        history: Optional[List[SettingChange]] = [] if self.collect_history else None
         #: The settings map applied last.  Managers whose decision changes
         #: nothing hand the *same object* back (the memoized fast path,
         #: and IdleRM's per-reset constant map); identity proves every
@@ -393,21 +762,198 @@ class MulticoreRMSimulator:
                 st.refresh_rates(i)
         else:
             raise RuntimeError("simulation exceeded max_events; check inputs")
+        return (
+            t,
+            intervals_completed,
+            qos_checks,
+            violations,
+            rm_invocations,
+            rm_instructions,
+        )
 
-        uncore_power = self.rm.energy_model.power.uncore_power_w(n_cores)
-        return SimResult(
-            rm_name=self.rm.name,
-            apps=tuple(apps),
-            per_core_energy=st.energy_breakdowns(),
-            uncore_j=uncore_power * t,
-            t_end_s=t,
-            horizon_instructions=horizon,
-            intervals_completed=intervals_completed,
-            qos_checks=qos_checks,
-            violations=violations,
-            rm_invocations=rm_invocations,
-            rm_instructions=rm_instructions,
-            history=history,
+    # ------------------------------------------------------------------
+    def _loop_wave(
+        self,
+        st: _CoreStates,
+        horizon: float,
+        baseline: Setting,
+        max_events: int,
+        history: Optional[List[SettingChange]],
+    ) -> Tuple[float, int, int, List[float], int, float]:
+        """The wave-batched event loop (see module docstring).
+
+        Sequencing is the scalar loop's — one boundary per event, scalar
+        visit order — so every decision sees exactly the state it would
+        have seen there; the differences are execution-strategy only:
+        speculative wave batching into the memo, scratch-buffered
+        advance, memoized rate refreshes and the vectorised settings
+        diff.  Differentially tested bit-identical on full runs.
+        """
+        rm = self.rm
+        db = self.db
+        n_cores = st.n
+        eps = self.wave_epsilon_s if self.wave == "epsilon" else 0.0
+        charge = self.charge_overheads
+        cost_model = self.cost_model
+        mem_latency_s = self.system.memory.base_latency_s
+        mem_access_j = self.system.memory.access_energy_nj * 1e-9
+        alphas = [self._alpha_for(i) for i in range(n_cores)]
+        speculate = bool(getattr(rm, "wants_wave_precompute", False))
+        #: Per-record baseline interval time (records recur every
+        #: interval; the db keeps them alive, so ids are stable).
+        base_time_of: Dict[int, float] = {}
+        #: Last interval index speculated per core — each boundary is
+        #: batched at most once no matter how many events the wave spans.
+        spec_mark = [-1] * n_cores
+        # Hot-loop locals: the boundary pick is the inlined body of
+        # :func:`next_boundary_wave` over preallocated scratch (progress-
+        # state validation moves to the loop entry + the rates memo,
+        # which revalidates every new (record, setting) pair).
+        stall_s = st.stall_s
+        tpi_s = st.tpi_s
+        instr_done = st.instr_done
+        n_instructions = st.n_instructions
+        finished = st.finished
+        records = st.records
+        settings_list = st.settings
+        intervals = st.intervals
+        interval_elapsed = st.interval_elapsed_s
+        apps_list = st.apps
+        dts = st._dts
+        rem = st._remaining
+        record_for_interval = db.record_for_interval
+        observe = rm.observe
+        if stall_s.min() < 0 or tpi_s.min() <= 0:
+            raise ValueError("invalid progress state")
+
+        t = 0.0
+        intervals_completed = 0
+        qos_checks = 0
+        violations: List[float] = []
+        rm_invocations = 0
+        rm_instructions = 0.0
+        applied_settings: Optional[Dict[int, Setting]] = None
+
+        for _ in range(max_events):
+            if st.finished_all():
+                break
+            np.subtract(n_instructions, instr_done, out=rem)
+            np.maximum(rem, 0.0, out=rem)
+            np.multiply(rem, tpi_s, out=dts)
+            dts += stall_s
+            b = int(dts.argmin())
+            dt = float(dts[b])
+
+            if speculate:
+                wave_mask = dts <= dt + eps
+                if int(wave_mask.sum()) > 1:
+                    members = np.nonzero(wave_mask)[0]
+                    wave_inputs = []
+                    for i in members.tolist():
+                        iv = intervals[i]
+                        if spec_mark[i] == iv:
+                            continue
+                        spec_mark[i] = iv
+                        rec = records[i]
+                        wave_inputs.append(
+                            (
+                                i,
+                                ModelInputs(
+                                    counters=rec.counters_at(settings_list[i]),
+                                    atd=rec.atd_report(),
+                                    next_record=record_for_interval(
+                                        apps_list[i], iv + 1
+                                    ),
+                                ),
+                            )
+                        )
+                    if wave_inputs:
+                        rm.precompute_wave(wave_inputs)
+
+            advance_cores_wave(st, dt, horizon)
+            t += dt
+
+            elapsed = float(interval_elapsed[b])
+            record = records[b]
+            setting = settings_list[b]
+            rid = id(record)
+            base_time = base_time_of.get(rid)
+            if base_time is None:
+                base_time = record.time_at(baseline)
+                base_time_of[rid] = base_time
+            if not finished[b]:
+                qos_checks += 1
+                rel = (elapsed - base_time * alphas[b]) / base_time
+                if rel > _VIOLATION_EPS:
+                    violations.append(rel)
+            intervals_completed += 1
+
+            counters = record.counters_at(setting)
+            atd = record.atd_report()
+            intervals[b] += 1
+            instr_done[b] = 0.0
+            interval_elapsed[b] = 0.0
+            records[b] = record_for_interval(apps_list[b], intervals[b])
+
+            inputs = ModelInputs(
+                counters=counters, atd=atd, next_record=records[b]
+            )
+            decision = observe(b, inputs)
+            rm_invocations += 1
+
+            if charge and (
+                decision.local_evaluations or decision.dp_operations
+            ):
+                instr = cost_model.instructions(
+                    n_cores,
+                    decision.local_evaluations,
+                    decision.dp_operations,
+                )
+                rm_instructions += instr
+                stall_s[b] += cost_model.time_overhead_s(
+                    instr, float(st.ipc[b]), setting.f_ghz
+                )
+                if not finished[b]:
+                    st.overhead_j[b] += instr * float(st.epi_j[b])
+
+            if decision.settings is applied_settings:
+                # Identity replay: by construction no setting moved, so
+                # the whole diff — and every non-boundary rate refresh —
+                # is skipped; only the boundary core's record changed.
+                st.refresh_rates_memo(b)
+                continue
+            applied_settings = decision.settings
+            changed = st.diff_settings(applied_settings)
+            for i in changed:
+                new_setting = applied_settings[i]
+                if charge:
+                    cost = self.dvfs.transition_cost(
+                        settings_list[i], new_setting
+                    )
+                    stall_add_s, energy_j = self.repartition.cost(
+                        new_setting.ways - settings_list[i].ways,
+                        mem_latency_s,
+                        mem_access_j,
+                    )
+                    stall_s[i] += cost.time_s + stall_add_s
+                    if not finished[i]:
+                        st.overhead_j[i] += cost.energy_j + energy_j
+                settings_list[i] = new_setting
+                st.sync_setting_arrays(i)
+                if history is not None:
+                    history.append(SettingChange(t, i, new_setting))
+                if i != b:
+                    st.refresh_rates_memo(i)
+            st.refresh_rates_memo(b)
+        else:
+            raise RuntimeError("simulation exceeded max_events; check inputs")
+        return (
+            t,
+            intervals_completed,
+            qos_checks,
+            violations,
+            rm_invocations,
+            rm_instructions,
         )
 
     # ------------------------------------------------------------------

@@ -1,0 +1,130 @@
+"""Shared plumbing for on-disk LRU stores.
+
+Two stores follow the same pattern — the campaign result store
+(:mod:`repro.campaign.results`) and the persistent local-decision memo
+(:mod:`repro.core.local_cache`): one JSON file per content-fingerprinted
+entry, atomic per-process-tmp publication, mtime bumped on every hit so a
+size cap evicts least-recently-*used* files first.  This module holds the
+store-agnostic pieces so the two stay byte-for-byte consistent in their
+eviction and publication behaviour.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+from typing import Dict, Optional
+
+__all__ = [
+    "atomic_write_text",
+    "bump_mtime",
+    "dir_stats",
+    "parse_max_mb",
+    "prune_lru",
+    "read_text_guarded",
+]
+
+
+def parse_max_mb(env_name: str) -> Optional[float]:
+    """Size cap in MiB from an environment variable.
+
+    Unset/empty or a non-positive value means *unbounded* (None); a
+    non-numeric value fails loudly, naming the variable.
+    """
+    raw = os.environ.get(env_name)
+    if not raw:
+        return None
+    try:
+        cap = float(raw)
+    except ValueError:
+        raise ValueError(f"{env_name} must be a number, got {raw!r}") from None
+    return cap if cap > 0 else None
+
+
+def atomic_write_text(path: Path, text: str) -> bool:
+    """Best-effort atomic publish: write a per-pid tmp, then rename.
+
+    Concurrent writers of one entry (e.g. two CI jobs sharing a cache)
+    must never interleave on an inode one of them then publishes.
+    Returns False (without raising) when the filesystem refuses.
+    """
+    try:
+        path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = path.with_name(f"{path.name}.{os.getpid()}.tmp")
+        tmp.write_text(text)
+        os.replace(tmp, path)
+    except OSError:
+        return False
+    return True
+
+
+def read_text_guarded(path: Path) -> Optional[str]:
+    """File contents, or None when missing/unreadable (never raises)."""
+    try:
+        return path.read_text()
+    except OSError:
+        return None
+
+
+def bump_mtime(path: Path) -> None:
+    """Mark an entry used (LRU eviction is by mtime); never raises."""
+    try:
+        os.utime(path)
+    except OSError:
+        pass
+
+
+def dir_stats(root: Optional[Path], pattern: str = "*.json") -> Dict[str, float]:
+    """Store shape: file count and total size in bytes/MiB."""
+    files = 0
+    size = 0
+    if root is not None and root.is_dir():
+        for file in root.glob(pattern):
+            try:
+                size += file.stat().st_size
+            except OSError:
+                continue
+            files += 1
+    return {"files": files, "bytes": size, "mb": size / (1024 * 1024)}
+
+
+def prune_lru(
+    root: Optional[Path],
+    max_mb: Optional[float],
+    pattern: str = "*.json",
+) -> Dict[str, float]:
+    """Evict oldest-mtime entries until the store fits ``max_mb``.
+
+    ``max_mb`` of None (or non-positive, which the env variables document
+    as *unbounded*) or a missing root makes this a stats-only no-op.
+    Returns eviction accounting (files/bytes removed, files/bytes kept).
+    """
+    if max_mb is not None and max_mb <= 0:
+        max_mb = None
+    removed = {"removed_files": 0, "removed_bytes": 0}
+    if root is None or max_mb is None or not root.is_dir():
+        stats = dir_stats(root, pattern)
+        return {**removed, "kept_files": stats["files"], "kept_bytes": stats["bytes"]}
+    entries = []
+    total = 0
+    for file in root.glob(pattern):
+        try:
+            stat = file.stat()
+        except OSError:
+            continue
+        entries.append((stat.st_mtime, stat.st_size, file))
+        total += stat.st_size
+    entries.sort()
+    budget = max_mb * 1024 * 1024
+    for _mtime, size, file in entries:
+        if total <= budget:
+            break
+        try:
+            file.unlink()
+        except OSError:
+            continue
+        total -= size
+        removed["removed_files"] += 1
+        removed["removed_bytes"] += size
+    kept = len(entries) - removed["removed_files"]
+    return {**removed, "kept_files": kept, "kept_bytes": total}

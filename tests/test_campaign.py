@@ -378,10 +378,12 @@ class TestResultStoreGC:
         self._fill(tmp_path, monkeypatch, n=3, size=1024)
         assert main(["cache"]) == 0
         out = capsys.readouterr().out
-        assert "3 results" in out
+        assert "results" in out and "3 entries" in out
+        # The local-memo store is reported alongside (unset here).
+        assert "local memo" in out
         assert main(["cache", "--prune", "--max-mb", "0.001"]) == 0
         out = capsys.readouterr().out
-        assert "pruned 2 results" in out
+        assert "results: pruned 2 entries" in out
         assert main(["cache", "--prune"]) == 0  # no cap -> no-op
         monkeypatch.delenv("REPRO_RESULT_CACHE")
         assert main(["cache"]) == 0

@@ -64,6 +64,20 @@ def test_bench_campaign_all_quick_workers2(benchmark, quick_cfg):
     benchmark.extra_info["cpu_count"] = os.cpu_count()
 
 
+def test_bench_campaign_all_quick_serial_journaled(
+    benchmark, quick_cfg, tmp_path, monkeypatch
+):
+    """Fault-tolerance overhead guard on the fault-free path: with a
+    (cold) result store configured, every run also pays atomic
+    publication plus the fsynced campaign journal — this must stay
+    within noise of the storeless serial run."""
+    monkeypatch.setenv("REPRO_RESULT_CACHE", str(tmp_path / "store"))
+    results = benchmark.pedantic(
+        _cold_run_all, args=(quick_cfg, 1), rounds=1, iterations=1
+    )
+    assert len(results) == N_EXPERIMENTS
+
+
 def test_bench_campaign_all_quick_warm(benchmark, quick_cfg):
     """Render-only cost: every simulation answered by the result store."""
     clear_result_memo()

@@ -192,7 +192,16 @@ def emit_campaign() -> int:
     serial = benches.get("test_bench_campaign_all_quick_serial", {})
     workers2 = benches.get("test_bench_campaign_all_quick_workers2", {})
     warm = benches.get("test_bench_campaign_all_quick_warm", {})
+    journaled = benches.get(
+        "test_bench_campaign_all_quick_serial_journaled", {}
+    )
     summary = {}
+    if serial.get("mean_s") and journaled.get("mean_s"):
+        # The fault-tolerance machinery's fault-free cost: journal
+        # appends (fsync per record) + atomic store publication.
+        summary["journaled_overhead_vs_serial"] = round(
+            journaled["mean_s"] / serial["mean_s"], 3
+        )
     if serial.get("mean_s") and workers2.get("mean_s"):
         summary["workers2_speedup_vs_serial"] = round(
             serial["mean_s"] / workers2["mean_s"], 2

@@ -17,21 +17,35 @@ that set explicit:
   LRU size cap (``REPRO_RESULT_CACHE_MAX_MB``) enforced after every
   campaign and via ``python -m repro cache --prune``,
 * :func:`~repro.campaign.database.get_database` — the shared database
-  cache, rebinding one build per seed to any requested core count.
+  cache, rebinding one build per seed to any requested core count,
+* :mod:`~repro.campaign.journal` — the crash-safe, append-only run
+  journal written next to the result store, making campaigns resumable
+  (``repro campaign --status``) and their retry/failure history
+  inspectable.
+
+Execution is fault-tolerant (per-spec timeouts, deterministic retries,
+``BrokenProcessPool`` recovery, straggler re-dispatch, corrupt-entry
+quarantine) while staying bit-identical to the fault-free serial run for
+any failure pattern — see :mod:`repro.campaign.executor` and
+:mod:`repro.util.faults`.
 """
 
 from repro.campaign.database import clear_database_cache, get_database
 from repro.campaign.executor import (
     Campaign,
+    CampaignExecutionError,
     ResultSet,
+    SpecTimeout,
     execute_spec,
     resolve_campaign_workers,
     run_campaign,
 )
+from repro.campaign.journal import CampaignJournal, journal_status
 from repro.campaign.results import (
     cache_stats,
     clear_result_memo,
     prune_result_cache,
+    quarantine_stats,
     result_cache_dir,
     result_from_json,
     result_to_json,
@@ -40,14 +54,19 @@ from repro.campaign.spec import RunSpec
 
 __all__ = [
     "Campaign",
+    "CampaignExecutionError",
+    "CampaignJournal",
     "ResultSet",
     "RunSpec",
+    "SpecTimeout",
     "cache_stats",
     "clear_database_cache",
     "clear_result_memo",
     "execute_spec",
     "get_database",
+    "journal_status",
     "prune_result_cache",
+    "quarantine_stats",
     "resolve_campaign_workers",
     "result_cache_dir",
     "result_from_json",

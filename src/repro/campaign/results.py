@@ -30,12 +30,14 @@ from typing import Dict, Optional
 from repro.config import CoreSize, Setting
 from repro.power.energy import EnergyBreakdown
 from repro.simulator.metrics import SettingChange, SimResult
+from repro.util import faults
 from repro.util.diskcache import (
     atomic_write_text,
     bump_mtime,
     dir_stats,
     parse_max_mb,
     prune_lru,
+    quarantine_entry,
     read_text_guarded,
 )
 
@@ -46,6 +48,7 @@ __all__ = [
     "memo_size",
     "memoize_result",
     "prune_result_cache",
+    "quarantine_stats",
     "result_cache_dir",
     "result_cache_max_mb",
     "result_from_json",
@@ -163,6 +166,11 @@ def cached_result(fingerprint: str) -> Optional[SimResult]:
     try:
         result = result_from_json(text)
     except (KeyError, TypeError, ValueError, json.JSONDecodeError):
+        # A truncated/corrupt entry (kill mid-write on an old code
+        # revision, disk damage, a fault-plan injection): quarantine it —
+        # visible via ``repro cache`` — instead of silently re-parsing a
+        # broken file on every probe, and let the caller resimulate.
+        quarantine_entry(file, root)
         return None
     # LRU bump: eviction is by mtime, so a hit marks the file used.
     bump_mtime(file)
@@ -177,11 +185,13 @@ def memoize_result(fingerprint: str, result: SimResult) -> None:
 
 
 def store_result(fingerprint: str, result: SimResult) -> None:
-    """Record a result in the memo and (best-effort) on disk."""
+    """Record a result in the memo and (best-effort, atomically) on disk."""
     _MEMO[fingerprint] = result
     root = result_cache_dir()
     if root is not None:
-        atomic_write_text(root / f"{fingerprint}.json", result_to_json(result))
+        path = root / f"{fingerprint}.json"
+        if atomic_write_text(path, result_to_json(result)):
+            faults.on_store_write("results", fingerprint, path)
 
 
 def clear_result_memo() -> None:
@@ -199,8 +209,18 @@ def result_cache_max_mb() -> Optional[float]:
 
 
 def cache_stats() -> Dict[str, float]:
-    """On-disk store shape: file count and total size in bytes/MiB."""
-    return dir_stats(result_cache_dir())
+    """On-disk store shape: file count, size and quarantined-entry count."""
+    stats = dir_stats(result_cache_dir())
+    stats["quarantined"] = quarantine_stats()["files"]
+    return stats
+
+
+def quarantine_stats() -> Dict[str, float]:
+    """Shape of the corrupt-entry quarantine (``<store>/quarantine/``)."""
+    root = result_cache_dir()
+    return dir_stats(
+        root / "quarantine" if root is not None else None, "*", protect=False
+    )
 
 
 def prune_result_cache(max_mb: Optional[float] = None) -> Dict[str, float]:

@@ -13,6 +13,7 @@ Usage::
     python -m repro ext-scaling --wave scalar    # event-loop oracle mode
     python -m repro cache                  # result-store + local-memo stats
     python -m repro cache --prune --max-mb 256   # LRU-evict to 256 MiB
+    python -m repro campaign --status      # journaled campaign progress
     python -m repro bench --emit localopt  # regenerate one BENCH_*.json
     python -m repro bench --emit all       # ... or every baseline
     python -m repro bench --check simloop  # CI smoke: no perf collapse
@@ -25,7 +26,10 @@ The ``cache`` subcommand manages both on-disk stores: the result store
 named by ``REPRO_RESULT_CACHE`` (cap: ``REPRO_RESULT_CACHE_MAX_MB``) and
 the persistent local-decision memo named by ``REPRO_LOCAL_MEMO`` (cap:
 ``REPRO_LOCAL_MEMO_MAX_MB``); ``bench`` consolidates the
-``benchmarks/emit_*_baseline.py`` entry points.
+``benchmarks/emit_*_baseline.py`` entry points; ``campaign --status``
+reports progress, retries and failure tallies from the crash-safe run
+journals kept under the result store (interrupted campaigns resume by
+re-running the same command).
 """
 
 from __future__ import annotations
@@ -58,7 +62,9 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "experiment",
-        help="experiment name, 'all', 'list', 'cache', or 'bench'",
+        help=(
+            "experiment name, 'all', 'list', 'cache', 'campaign', or 'bench'"
+        ),
     )
     parser.add_argument("--quick", action="store_true", help="shrunk quick mode")
     parser.add_argument("--seed", type=int, default=2020)
@@ -91,6 +97,14 @@ def build_parser() -> argparse.ArgumentParser:
             "simulator event-loop mode (default: REPRO_SIM_WAVE or "
             "'step'; all modes are bit-identical — 'scalar' is the "
             "slow differential oracle)"
+        ),
+    )
+    parser.add_argument(
+        "--status",
+        action="store_true",
+        help=(
+            "with 'campaign': report journaled campaign progress, retry "
+            "and failure tallies from the result store's run journals"
         ),
     )
     parser.add_argument(
@@ -214,10 +228,63 @@ def _cache_command(prune: bool, max_mb: float | None) -> int:
         stats = stats_fn()
         cap = override_mb if override_mb is not None else cap_fn()
         cap_text = f"{cap:.0f} MiB" if cap else "unbounded"
-        print(
+        line = (
             f"{name} @ {root}: {stats['files']:.0f} entries, "
             f"{stats['mb']:.1f} MiB (cap: {cap_text})"
         )
+        if stats.get("quarantined"):
+            line += f"; {stats['quarantined']:.0f} quarantined"
+        print(line)
+    return 0
+
+
+def _campaign_command(status: bool) -> int:
+    """Report journaled campaign progress (``repro campaign --status``)."""
+    from repro.campaign.journal import journal_status
+    from repro.campaign.results import CACHE_ENV, result_cache_dir
+
+    if not status:
+        print(
+            "the 'campaign' subcommand requires --status",
+            file=sys.stderr,
+        )
+        return 2
+    root = result_cache_dir()
+    if root is None:
+        print(f"no campaign journals ({CACHE_ENV} is unset)")
+        return 0
+    summaries = journal_status(root)
+    if not summaries:
+        print(f"no campaign journals under {root}")
+        return 0
+    for s in summaries:
+        if s["complete"]:
+            state = (
+                "complete"
+                if not s["permanent_failures"]
+                else f"FAILED ({s['permanent_failures']} specs)"
+            )
+        elif s["interrupted"]:
+            state = "interrupted (resumable)"
+        else:
+            state = "in progress or killed (resumable)"
+        line = (
+            f"campaign {s['campaign']}: {s['done']}/{s['unique']} done "
+            f"({s['cached']} cached at last start), {state}"
+        )
+        tallies = []
+        if s["failed_attempts"]:
+            tallies.append(
+                f"{s['failed_attempts']} failed attempts "
+                f"on {s['failed_specs']} specs"
+            )
+        if s["pool_failures"]:
+            tallies.append(f"{s['pool_failures']} pool failures")
+        if s["runs"] > 1:
+            tallies.append(f"{s['runs']} runs")
+        if tallies:
+            line += f" [{', '.join(tallies)}]"
+        print(line)
     return 0
 
 
@@ -243,6 +310,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         return 0
     if args.experiment == "cache":
         return _cache_command(args.prune, args.max_mb)
+    if args.experiment == "campaign":
+        return _campaign_command(args.status)
 
     if args.wave is not None:
         # The event-loop mode is an execution strategy, not an input:

@@ -39,6 +39,7 @@ from typing import Dict, Hashable, Optional, Tuple
 from repro.core.local_opt import LocalOptResult
 from repro.core.perf_models import ModelInputs, PerformanceModel
 from repro.core.qos import QoSPolicy
+from repro.util import faults
 from repro.util.diskcache import (
     atomic_write_text,
     bump_mtime,
@@ -220,8 +221,10 @@ class PersistentLocalMemo:
         digest = _key_digest(key)
         if digest is None or not isinstance(result, LocalOptResult):
             return
-        if atomic_write_text(self._path(digest), json.dumps(result.to_payload())):
+        path = self._path(digest)
+        if atomic_write_text(path, json.dumps(result.to_payload())):
             self.writes += 1
+            faults.on_store_write("memo", f"{self.scope}-{digest}", path)
 
 
 def persistent_memo_for(

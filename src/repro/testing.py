@@ -10,13 +10,20 @@ collection failure this module fixes.
 
 from __future__ import annotations
 
-from typing import List
+from pathlib import Path
+from typing import Dict, List
 
 from repro.config import ScaleConfig
 from repro.trace.reuse import cliff_profile, small_ws_profile, streaming_profile
 from repro.trace.spec import AppSpec, PhaseSpec, uniform_ipc
 
-__all__ = ["small_scale", "make_phase", "mini_suite"]
+__all__ = [
+    "small_scale",
+    "make_phase",
+    "mini_suite",
+    "serial_oracle",
+    "write_entry_many",
+]
 
 
 def small_scale() -> ScaleConfig:
@@ -94,3 +101,26 @@ def mini_suite() -> List[AppSpec]:
         n_intervals=5,
     )
     return [cs_ps, ci_ps, cs_pi, ci_pi]
+
+
+def serial_oracle(specs) -> Dict[str, object]:
+    """Fault-free reference results by fingerprint, bypassing every store.
+
+    The differential fault tests compare any faulted campaign against
+    this: plain serial simulation, no result cache, no journal, no fault
+    hooks — the executor's bit-identical contract says every failure
+    pattern must merge to exactly these results.
+    """
+    from repro.campaign.executor import _simulate
+
+    return {spec.fingerprint: _simulate(spec) for spec in specs}
+
+
+def write_entry_many(root, fingerprint: str, text: str, n: int) -> None:
+    """Atomically write one store entry ``n`` times (module-level so the
+    concurrent-writer test can run it from several processes at once)."""
+    from repro.util.diskcache import atomic_write_text
+
+    path = Path(root) / f"{fingerprint}.json"
+    for _ in range(n):
+        atomic_write_text(path, text)

@@ -16,13 +16,21 @@ from pathlib import Path
 from typing import Dict, Optional
 
 __all__ = [
+    "PROTECTED_DIRS",
     "atomic_write_text",
     "bump_mtime",
     "dir_stats",
+    "fsync_append_line",
     "parse_max_mb",
     "prune_lru",
+    "quarantine_entry",
     "read_text_guarded",
 ]
+
+#: Store sub-directories that hold bookkeeping, not cache entries: the
+#: campaign run journal and quarantined corrupt entries.  LRU pruning and
+#: size accounting must never touch them.
+PROTECTED_DIRS = ("journal", "quarantine")
 
 
 def parse_max_mb(env_name: str) -> Optional[float]:
@@ -41,21 +49,72 @@ def parse_max_mb(env_name: str) -> Optional[float]:
     return cap if cap > 0 else None
 
 
-def atomic_write_text(path: Path, text: str) -> bool:
+def atomic_write_text(path: Path, text: str, fsync: bool = False) -> bool:
     """Best-effort atomic publish: write a per-pid tmp, then rename.
 
     Concurrent writers of one entry (e.g. two CI jobs sharing a cache)
-    must never interleave on an inode one of them then publishes.
+    must never interleave on an inode one of them then publishes, and a
+    reader must only ever see a complete previous or complete new entry —
+    never a truncated in-progress write.  ``fsync`` additionally flushes
+    the data to stable storage before the rename, so a machine crash
+    cannot publish an empty inode under the final name.
     Returns False (without raising) when the filesystem refuses.
     """
     try:
         path.parent.mkdir(parents=True, exist_ok=True)
         tmp = path.with_name(f"{path.name}.{os.getpid()}.tmp")
-        tmp.write_text(text)
+        with open(tmp, "w") as fh:
+            fh.write(text)
+            if fsync:
+                fh.flush()
+                os.fsync(fh.fileno())
         os.replace(tmp, path)
     except OSError:
         return False
     return True
+
+
+def fsync_append_line(path: Path, line: str) -> bool:
+    """Durably append one line (journal records survive a crash).
+
+    Opens, appends, flushes and fsyncs per call: the caller never holds a
+    file descriptor that forked pool workers could inherit, and a kill at
+    any point leaves at worst one partial *trailing* line, which readers
+    skip.  Returns False (without raising) when the filesystem refuses.
+    """
+    try:
+        path.parent.mkdir(parents=True, exist_ok=True)
+        with open(path, "a") as fh:
+            fh.write(line if line.endswith("\n") else line + "\n")
+            fh.flush()
+            os.fsync(fh.fileno())
+    except OSError:
+        return False
+    return True
+
+
+def quarantine_entry(path: Path, root: Path) -> Optional[Path]:
+    """Move a corrupt entry into ``<root>/quarantine/`` (never raises).
+
+    Quarantining instead of deleting keeps the evidence for post-mortems
+    while guaranteeing the store never re-parses (or silently re-misses
+    on) the same damaged file.  Name collisions get a pid suffix; any
+    filesystem refusal returns None and leaves the entry in place.
+    """
+    qdir = root / "quarantine"
+    try:
+        qdir.mkdir(parents=True, exist_ok=True)
+        target = qdir / path.name
+        n = 0
+        while target.exists():
+            # Same entry quarantined repeatedly (each resimulation can be
+            # damaged again): every capture must survive as evidence.
+            n += 1
+            target = qdir / f"{path.name}.{os.getpid()}.{n}"
+        os.replace(path, target)
+    except OSError:
+        return None
+    return target
 
 
 def read_text_guarded(path: Path) -> Optional[str]:
@@ -74,18 +133,46 @@ def bump_mtime(path: Path) -> None:
         pass
 
 
-def dir_stats(root: Optional[Path], pattern: str = "*.json") -> Dict[str, float]:
-    """Store shape: file count and total size in bytes/MiB."""
+def dir_stats(
+    root: Optional[Path], pattern: str = "*.json", protect: bool = True
+) -> Dict[str, float]:
+    """Store shape: file count and total size in bytes/MiB.
+
+    ``protect=False`` lifts the journal/quarantine exclusion — for
+    counting those bookkeeping directories themselves.
+    """
     files = 0
     size = 0
     if root is not None and root.is_dir():
         for file in root.glob(pattern):
+            if protect and _is_protected(file):
+                continue
+            if not protect:
+                try:
+                    if not file.is_file():
+                        continue
+                except OSError:
+                    continue
             try:
-                size += file.stat().st_size
+                # A concurrent pruner/writer may remove the file between
+                # glob and stat (CI shares stores via actions/cache);
+                # vanished entries are simply not counted.
+                stat = file.stat()
             except OSError:
                 continue
+            size += stat.st_size
             files += 1
     return {"files": files, "bytes": size, "mb": size / (1024 * 1024)}
+
+
+def _is_protected(file: Path) -> bool:
+    """True for journal/quarantine bookkeeping (and anything not a file)."""
+    if any(part in PROTECTED_DIRS for part in file.parts):
+        return True
+    try:
+        return not file.is_file()
+    except OSError:
+        return True
 
 
 def prune_lru(
@@ -108,9 +195,16 @@ def prune_lru(
     entries = []
     total = 0
     for file in root.glob(pattern):
+        if _is_protected(file):
+            # Journal and quarantine bookkeeping is not LRU-evictable
+            # cache content — pruning it would erase resume state or
+            # corruption evidence.
+            continue
         try:
             stat = file.stat()
         except OSError:
+            # Concurrent writers/pruners race us (shared CI stores);
+            # a vanished file is already "evicted".
             continue
         entries.append((stat.st_mtime, stat.st_size, file))
         total += stat.st_size
@@ -121,6 +215,11 @@ def prune_lru(
             break
         try:
             file.unlink()
+        except FileNotFoundError:
+            # Someone else unlinked it first; its bytes are gone either
+            # way, so count it against the total but not as our eviction.
+            total -= size
+            continue
         except OSError:
             continue
         total -= size

@@ -1,0 +1,325 @@
+"""Deterministic fault injection for the campaign execution stack.
+
+``REPRO_FAULT_PLAN`` names a schedule of faults that the executor and the
+on-disk stores honour, making every recovery path *differentially*
+testable: the fault-free serial run is the oracle, and any injected-fault
+run must converge to bit-identical merged results.  The plan is a
+semicolon-separated list of directives::
+
+    crash:spec=3                     # worker calls os._exit on the 3rd spec
+    fail:fp=ab12,times=2             # raise InjectedFault twice on prefix ab12
+    hang:fp=ab12,secs=30             # sleep 30 s (the spec timeout's prey)
+    truncate:store=results,fp=       # truncate the next result-store write
+    corrupt:store=memo,fp=           # garbage the next local-memo write
+    interrupt:after=2                # KeyboardInterrupt after 2 completions
+
+``spec=N`` addresses the N-th spec (1-based) of the campaign's
+deterministic dispatch order; :func:`prepare_for_campaign` resolves it to
+that spec's fingerprint before any worker forks, so every process agrees
+on the target.  ``fp=<prefix>`` matches a spec fingerprint (crash / fail /
+hang) or a store entry name (truncate / corrupt; the empty prefix matches
+every entry).  ``times`` bounds how often a directive fires (default 1 —
+fire once, then let the retry succeed).
+
+Fires are counted in a *ledger* directory (``REPRO_FAULT_LEDGER``) as one
+marker file per fire, recorded durably **before** the fault executes —
+that is what keeps a ``crash`` directive from killing every retry and
+every rebuilt pool worker forever.  Without a ledger the counts are
+per-process (fine for serial in-process tests); :func:`prepare_for_campaign`
+creates a shared ledger automatically when a plan is active so forked
+pool workers always agree with the parent.
+
+With ``REPRO_FAULT_PLAN`` unset every hook is a single dict probe — the
+production fast path stays fault-free and overhead-free.
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple
+
+__all__ = [
+    "FaultDirective",
+    "FaultPlan",
+    "InjectedFault",
+    "PLAN_ENV",
+    "LEDGER_ENV",
+    "active_plan",
+    "on_completion",
+    "on_spec",
+    "on_store_write",
+    "parse_plan",
+    "prepare_for_campaign",
+    "reset",
+]
+
+#: Environment variable holding the fault plan (unset = no faults).
+PLAN_ENV = "REPRO_FAULT_PLAN"
+
+#: Environment variable naming the cross-process fire ledger directory.
+LEDGER_ENV = "REPRO_FAULT_LEDGER"
+
+#: Exit code of an injected worker crash (recognisable in tests/CI).
+CRASH_EXIT_CODE = 13
+
+_SPEC_KINDS = ("crash", "fail", "hang")
+_STORE_KINDS = ("truncate", "corrupt")
+_KINDS = _SPEC_KINDS + _STORE_KINDS + ("interrupt",)
+_STORES = ("results", "memo")
+
+
+class InjectedFault(RuntimeError):
+    """A deterministic test-plan failure (retryable, never seen in prod)."""
+
+
+@dataclass
+class FaultDirective:
+    """One parsed ``kind:key=value,...`` clause of the plan."""
+
+    kind: str
+    index: int
+    fp: Optional[str] = None
+    ordinal: Optional[int] = None
+    store: Optional[str] = None
+    times: int = 1
+    secs: float = 3600.0
+    after: int = 1
+
+    def matches(self, name: str) -> bool:
+        """Prefix match against a spec fingerprint or store entry name."""
+        return self.fp is not None and name.startswith(self.fp)
+
+    def to_text(self) -> str:
+        parts = []
+        if self.fp is not None:
+            parts.append(f"fp={self.fp}")
+        if self.ordinal is not None:
+            parts.append(f"spec={self.ordinal}")
+        if self.store is not None:
+            parts.append(f"store={self.store}")
+        if self.kind == "interrupt":
+            parts.append(f"after={self.after}")
+        parts.append(f"times={self.times}")
+        if self.kind == "hang":
+            parts.append(f"secs={self.secs:g}")
+        return f"{self.kind}:{','.join(parts)}"
+
+
+def parse_plan(text: str) -> List[FaultDirective]:
+    """Parse a plan string; malformed input fails loudly, naming the var."""
+
+    def bad(msg: str) -> ValueError:
+        return ValueError(f"{PLAN_ENV}: {msg} (in {text!r})")
+
+    directives: List[FaultDirective] = []
+    for index, clause in enumerate(filter(None, (c.strip() for c in text.split(";")))):
+        kind, _, rest = clause.partition(":")
+        kind = kind.strip()
+        if kind not in _KINDS:
+            raise bad(f"unknown fault kind {kind!r}; options: {sorted(_KINDS)}")
+        d = FaultDirective(kind=kind, index=index)
+        for item in filter(None, (i.strip() for i in rest.split(","))):
+            key, eq, value = item.partition("=")
+            if not eq:
+                raise bad(f"expected key=value, got {item!r}")
+            try:
+                if key == "fp":
+                    d.fp = value
+                elif key == "spec":
+                    d.ordinal = int(value)
+                elif key == "store":
+                    if value not in _STORES:
+                        raise bad(f"unknown store {value!r}; options: {_STORES}")
+                    d.store = value
+                elif key == "times":
+                    d.times = int(value)
+                elif key == "secs":
+                    d.secs = float(value)
+                elif key == "after":
+                    d.after = int(value)
+                else:
+                    raise bad(f"unknown key {key!r}")
+            except ValueError as exc:
+                if exc.args and str(exc.args[0]).startswith(PLAN_ENV):
+                    raise
+                raise bad(f"bad value for {key}: {value!r}") from None
+        if d.kind in _SPEC_KINDS and d.fp is None and d.ordinal is None:
+            raise bad(f"{d.kind} needs fp= or spec=")
+        if d.kind in _STORE_KINDS:
+            if d.store is None:
+                raise bad(f"{d.kind} needs store=results|memo")
+            if d.fp is None:
+                d.fp = ""  # empty prefix: first matching write
+        directives.append(d)
+    return directives
+
+
+class FaultPlan:
+    """A parsed plan plus its (ledger- or memory-backed) fire counts."""
+
+    def __init__(self, directives: List[FaultDirective], ledger: Optional[Path]):
+        self.directives = directives
+        self.ledger = ledger
+        self._memory: Dict[int, int] = {}
+
+    # -- fire accounting ---------------------------------------------------
+    def _fired(self, d: FaultDirective) -> int:
+        if self.ledger is None:
+            return self._memory.get(d.index, 0)
+        try:
+            return len(list(self.ledger.glob(f"d{d.index}-*")))
+        except OSError:
+            return 0
+
+    def _record_fire(self, d: FaultDirective) -> None:
+        """Durably count a fire *before* the fault executes (crash-safe)."""
+        if self.ledger is None:
+            self._memory[d.index] = self._memory.get(d.index, 0) + 1
+            return
+        self.ledger.mkdir(parents=True, exist_ok=True)
+        fd, _ = tempfile.mkstemp(prefix=f"d{d.index}-", dir=self.ledger)
+        os.close(fd)
+
+    def _fire_if_due(self, d: FaultDirective) -> bool:
+        if self._fired(d) >= d.times:
+            return False
+        self._record_fire(d)
+        return True
+
+    # -- hooks -------------------------------------------------------------
+    def on_spec(self, fingerprint: str) -> None:
+        """Executor hook: may crash the process, raise, or hang."""
+        for d in self.directives:
+            if d.kind not in _SPEC_KINDS or not d.matches(fingerprint):
+                continue
+            if not self._fire_if_due(d):
+                continue
+            if d.kind == "crash":
+                os._exit(CRASH_EXIT_CODE)
+            if d.kind == "fail":
+                raise InjectedFault(
+                    f"injected failure on spec {fingerprint[:12]}"
+                )
+            time.sleep(d.secs)  # hang; the spec timeout's prey
+
+    def on_store_write(self, store: str, name: str, path: Path) -> None:
+        """Store hook: may truncate or corrupt the just-published entry."""
+        for d in self.directives:
+            if d.kind not in _STORE_KINDS or d.store != store:
+                continue
+            if not d.matches(name) or not self._fire_if_due(d):
+                continue
+            try:
+                if d.kind == "truncate":
+                    size = path.stat().st_size
+                    with open(path, "r+b") as fh:
+                        fh.truncate(size // 2)
+                else:
+                    path.write_text('{"corrupt": tru')
+            except OSError:
+                pass
+
+    def on_completion(self, done: int) -> None:
+        """Parent-loop hook: deterministic mid-campaign interrupt."""
+        for d in self.directives:
+            if d.kind != "interrupt" or done < d.after:
+                continue
+            if self._fire_if_due(d):
+                raise KeyboardInterrupt(
+                    f"injected interrupt after {done} completions"
+                )
+
+    def to_text(self) -> str:
+        return ";".join(d.to_text() for d in self.directives)
+
+
+#: Parse cache keyed on (plan text, ledger) — plans are tiny, but the
+#: in-memory fire counts must survive across hook calls in one process.
+_CACHE: Dict[Tuple[str, Optional[str]], FaultPlan] = {}
+
+
+def active_plan() -> Optional[FaultPlan]:
+    """The env-configured plan, or None (the production fast path)."""
+    text = os.environ.get(PLAN_ENV)
+    if not text:
+        return None
+    ledger = os.environ.get(LEDGER_ENV) or None
+    key = (text, ledger)
+    plan = _CACHE.get(key)
+    if plan is None:
+        plan = FaultPlan(
+            parse_plan(text), Path(ledger) if ledger else None
+        )
+        _CACHE[key] = plan
+    return plan
+
+
+def reset() -> None:
+    """Drop cached plans and their in-memory fire counts (tests)."""
+    _CACHE.clear()
+
+
+def prepare_for_campaign(fingerprints: Sequence[str]) -> None:
+    """Resolve ``spec=N`` ordinals and ensure a shared ledger exists.
+
+    Called once per campaign with the deterministic dispatch order,
+    *before* any pool worker forks: ordinal directives are rewritten to
+    the matching fingerprint and re-exported through :data:`PLAN_ENV`, and
+    a ledger directory is minted (and exported) when the plan needs one,
+    so parent, workers and rebuilt pools all count fires against the same
+    state.  A no-op when no plan is active.
+    """
+    plan = active_plan()
+    if plan is None:
+        return
+    if plan.ledger is None:
+        # A fresh directory per mint (not a fixed pid-based name): stale
+        # markers from an earlier plan in this process must never count
+        # against this campaign's directives.  The instance is updated
+        # too — forked pool workers inherit this parse cache, so parent
+        # and workers must already agree before the env round-trip.
+        plan.ledger = Path(tempfile.mkdtemp(prefix="repro-fault-ledger-"))
+        os.environ[LEDGER_ENV] = str(plan.ledger)
+    changed = False
+    for d in plan.directives:
+        if d.ordinal is None:
+            continue
+        # Out-of-range ordinals resolve to a prefix no hex fingerprint
+        # can ever start with — the directive simply never fires.
+        d.fp = (
+            fingerprints[d.ordinal - 1]
+            if 1 <= d.ordinal <= len(fingerprints)
+            else "~unmatched"
+        )
+        d.ordinal = None
+        changed = True
+    if changed or os.environ.get(LEDGER_ENV):
+        os.environ[PLAN_ENV] = plan.to_text()
+        # Re-key the cache so this resolved instance (with its counts)
+        # answers the rewritten env text.
+        _CACHE[(os.environ[PLAN_ENV], os.environ.get(LEDGER_ENV) or None)] = plan
+
+
+def on_spec(fingerprint: str) -> None:
+    """Module-level executor hook (no-op without an active plan)."""
+    plan = active_plan()
+    if plan is not None:
+        plan.on_spec(fingerprint)
+
+
+def on_store_write(store: str, name: str, path: Path) -> None:
+    """Module-level store hook (no-op without an active plan)."""
+    plan = active_plan()
+    if plan is not None:
+        plan.on_store_write(store, name, path)
+
+
+def on_completion(done: int) -> None:
+    """Module-level parent-loop hook (no-op without an active plan)."""
+    plan = active_plan()
+    if plan is not None:
+        plan.on_completion(done)

@@ -8,7 +8,10 @@ shape) in the three event-loop flavours:
 * ``wave`` cold — the wave-batched loop without a persistent memo,
 * ``wave`` warm — the wave-batched loop with ``REPRO_LOCAL_MEMO`` primed
   on disk, so every fresh manager starts with the whole phase library
-  one read away (the repeated-campaign / warm-CI scenario).
+  one read away (the repeated-campaign / warm-CI scenario),
+* ``native`` — the one-call compiled run engine (PR 7): the C loop owns
+  the SoA state and replays provably-identity decisions natively,
+  calling back into Python only for the rest.
 
 ``BENCH_simloop.json`` at the repo root keeps the committed baseline
 (regenerate with ``python -m repro bench --emit simloop`` — the emitter
@@ -46,7 +49,7 @@ def _workload(n_cores):
     return db, [names[i % len(names)] for i in range(n_cores)]
 
 
-@pytest.mark.parametrize("wave", ["scalar", "step"])
+@pytest.mark.parametrize("wave", ["scalar", "step", "native"])
 @pytest.mark.parametrize("n_cores", CORE_COUNTS)
 def test_bench_sim_loop(benchmark, n_cores, wave, monkeypatch):
     """One end-to-end run per round, fresh manager, no persistent tier."""

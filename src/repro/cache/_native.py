@@ -22,15 +22,13 @@ from here during normal engine resolution.
 from __future__ import annotations
 
 import ctypes
-import hashlib
 import os
-import shutil
-import subprocess
-import tempfile
 from pathlib import Path
 from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
+
+from repro.util.nativebuild import build_shared
 
 __all__ = ["available", "native_replay"]
 
@@ -79,30 +77,7 @@ def _cache_dir() -> Path:
 
 
 def _compile() -> Optional[Path]:
-    compiler = shutil.which("cc") or shutil.which("gcc") or shutil.which("clang")
-    if compiler is None:
-        return None
-    digest = hashlib.sha256(_SOURCE.encode()).hexdigest()[:16]
-    cache = _cache_dir()
-    so_path = cache / f"replay_{digest}.so"
-    if so_path.exists():
-        return so_path
-    try:
-        cache.mkdir(parents=True, exist_ok=True)
-        with tempfile.TemporaryDirectory(dir=cache) as tmp:
-            src = Path(tmp) / "replay.c"
-            src.write_text(_SOURCE)
-            out = Path(tmp) / "replay.so"
-            subprocess.run(
-                [compiler, "-O3", "-shared", "-fPIC", "-o", str(out), str(src)],
-                check=True,
-                capture_output=True,
-                timeout=120,
-            )
-            os.replace(out, so_path)  # atomic: concurrent workers can race
-        return so_path
-    except (OSError, subprocess.SubprocessError):
-        return None
+    return build_shared(_SOURCE, _cache_dir(), "replay", (("-O3",),))
 
 
 def _load() -> Optional[ctypes.CDLL]:

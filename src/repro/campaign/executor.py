@@ -81,9 +81,11 @@ __all__ = [
     "CampaignStats",
     "ResultSet",
     "SpecTimeout",
+    "batch_runs_enabled",
     "execute_spec",
     "make_model",
     "resolve_campaign_workers",
+    "run_batch",
     "run_campaign",
 ]
 
@@ -111,6 +113,14 @@ POOL_FAILURES_ENV = "REPRO_POOL_FAILURES"
 #: median completed runtime is speculatively re-dispatched (default 8;
 #: 0 disables).  Duplicates are correctness-free: first finish wins.
 STRAGGLER_FACTOR_ENV = "REPRO_STRAGGLER_FACTOR"
+
+#: Opt-in same-shape multi-run batching for serial native-mode
+#: campaigns: truthy values group pending specs that share a shape
+#: (cores/model/horizon/RM/overheads) and advance each group through
+#: one shared native event loop (:func:`repro.simulator.batch.run_many`).
+#: Results are bit-identical to serial execution; only scheduling
+#: changes.  Ignored when a worker pool is engaged.
+BATCH_RUNS_ENV = "REPRO_BATCH_RUNS"
 
 #: Auto mode engages the pool only for at least this many pending runs.
 _AUTO_POOL_MIN_RUNS = 16
@@ -197,8 +207,8 @@ def make_model(name: str):
     return models[name]()
 
 
-def _simulate(spec: RunSpec) -> SimResult:
-    """Run one spec's simulation (no caching — see :func:`execute_spec`)."""
+def _make_sim(spec: RunSpec) -> MulticoreRMSimulator:
+    """Build one spec's fully-configured simulator (fresh manager)."""
     db = get_database(spec.n_cores, spec.seed)
     system = db.system
     if spec.rm_kind == "idle":
@@ -213,9 +223,14 @@ def _simulate(spec: RunSpec) -> SimResult:
             spec.rm_kind, relaxed, make_model(spec.model),
             qos=QoSPolicy(spec.alpha),
         )
-    sim = MulticoreRMSimulator(
+    return MulticoreRMSimulator(
         db, rm, charge_overheads=spec.charge_overheads, wave=spec.wave
     )
+
+
+def _simulate(spec: RunSpec) -> SimResult:
+    """Run one spec's simulation (no caching — see :func:`execute_spec`)."""
+    sim = _make_sim(spec)
     return sim.run(list(spec.apps), horizon_intervals=spec.horizon_intervals)
 
 
@@ -389,6 +404,75 @@ def _run_serial(specs: Sequence[RunSpec], state: _ExecState) -> None:
             state.record_done(fp, time.monotonic() - t0)
             faults.on_completion(len(state.results))
             break
+
+
+def batch_runs_enabled() -> bool:
+    """Whether :data:`BATCH_RUNS_ENV` opts serial runs into batching."""
+    raw = os.environ.get(BATCH_RUNS_ENV, "").strip().lower()
+    return raw not in ("", "0", "false", "no")
+
+
+def _run_batched(specs: Sequence[RunSpec], state: _ExecState) -> None:
+    """Serial driver variant: same-shape native groups advance together.
+
+    Specs that resolve to ``wave="native"`` and share a shape
+    (cores/model/horizon/RM kind/overheads) are prepared together and
+    driven through one shared native event loop; everything else — odd
+    shapes, non-native modes, singleton groups — takes the plain serial
+    path.  Any failure inside a group (fault injection included) demotes
+    that whole group to the serial driver, whose per-spec timeout and
+    retry machinery then applies, so batching can only change
+    scheduling, never outcomes.  Journaled per-spec durations inside a
+    successful group are the group's wall-clock split evenly (the runs
+    genuinely advance together).
+    """
+    from repro.simulator.batch import run_many
+    from repro.simulator.rmsim import WAVE_ENV
+
+    default_wave = os.environ.get(WAVE_ENV) or "step"
+    groups: Dict[tuple, List[RunSpec]] = {}
+    rest: List[RunSpec] = []
+    for spec in specs:
+        if (spec.wave or default_wave) != "native":
+            rest.append(spec)
+            continue
+        key = (
+            spec.n_cores,
+            spec.model,
+            spec.horizon_intervals,
+            spec.rm_kind,
+            spec.charge_overheads,
+        )
+        groups.setdefault(key, []).append(spec)
+
+    for group in groups.values():
+        if len(group) < 2:
+            rest.extend(group)
+            continue
+        t0 = time.monotonic()
+        try:
+            for spec in group:
+                faults.on_spec(spec.fingerprint)
+            results = run_many(
+                [
+                    (_make_sim(spec), list(spec.apps), spec.horizon_intervals)
+                    for spec in group
+                ]
+            )
+        except KeyboardInterrupt:
+            raise
+        except Exception:
+            _run_serial(group, state)
+            continue
+        share = (time.monotonic() - t0) / len(group)
+        for spec, result in zip(group, results):
+            fp = spec.fingerprint
+            store_result(fp, result)
+            state.results[fp] = result
+            state.record_done(fp, share)
+            faults.on_completion(len(state.results))
+    if rest:
+        _run_serial(rest, state)
 
 
 def _run_pool(
@@ -672,6 +756,8 @@ class Campaign:
                 ):
                     get_database(n_cores, seed)
                 _run_pool(ordered, workers, state)
+            elif batch_runs_enabled():
+                _run_batched(ordered, state)
             else:
                 _run_serial(ordered, state)
         except KeyboardInterrupt:
@@ -734,3 +820,22 @@ def run_campaign(
 ) -> ResultSet:
     """One-shot convenience: plan, dedupe and execute ``specs``."""
     return Campaign(specs).run(n_workers=n_workers)
+
+
+def run_batch(specs: Sequence[RunSpec]) -> ResultSet:
+    """Execute ``specs`` serially with same-shape batching forced on.
+
+    Equivalent to ``run_campaign(specs, n_workers=1)`` under
+    ``REPRO_BATCH_RUNS=1`` — same caching, journaling and bit-identical
+    results; same-shape native-mode groups just advance through one
+    shared native event loop.
+    """
+    saved = os.environ.get(BATCH_RUNS_ENV)
+    os.environ[BATCH_RUNS_ENV] = "1"
+    try:
+        return Campaign(specs).run(n_workers=1)
+    finally:
+        if saved is None:
+            os.environ.pop(BATCH_RUNS_ENV, None)
+        else:
+            os.environ[BATCH_RUNS_ENV] = saved

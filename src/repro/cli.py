@@ -92,11 +92,21 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--wave",
         default=None,
-        choices=["step", "epsilon", "scalar"],
+        choices=["step", "epsilon", "scalar", "native"],
         help=(
             "simulator event-loop mode (default: REPRO_SIM_WAVE or "
             "'step'; all modes are bit-identical — 'scalar' is the "
-            "slow differential oracle)"
+            "slow differential oracle, 'native' the one-call compiled "
+            "run engine)"
+        ),
+    )
+    parser.add_argument(
+        "--batch-runs",
+        action="store_true",
+        help=(
+            "serial campaigns: advance same-shape native-mode runs "
+            "together through one shared native event loop "
+            "(REPRO_BATCH_RUNS; bit-identical, scheduling only)"
         ),
     )
     parser.add_argument(
@@ -321,6 +331,10 @@ def main(argv: Sequence[str] | None = None) -> int:
         import os
 
         os.environ["REPRO_SIM_WAVE"] = args.wave
+    if args.batch_runs:
+        import os
+
+        os.environ["REPRO_BATCH_RUNS"] = "1"
 
     cfg = ExperimentConfig(
         seed=args.seed,

@@ -1,4 +1,4 @@
-"""Optional compiled (min,+) combine kernel for the reduction tree.
+"""Optional compiled kernels: (min,+) combine, core advance, run engine.
 
 The pairwise curve combine is the decision kernel's floor: every
 leaf-to-root recombine pays one ``la * lb`` (min,+) convolution, and at
@@ -17,23 +17,29 @@ the all-infeasible convention (``choice`` stays at the first row).  The
 differential tests assert equality against the NumPy kernel, which
 itself is pinned to the scalar reference.
 
+Alongside the combine/path kernels this module carries the wave loop's
+fused per-event advance (``advance_fast``) and — since the native-run
+PR — the whole steady-state event loop (``run_native``): boundary pick,
+advance, QoS, rollover and overhead charge execute natively, returning
+to Python only for events whose manager decision cannot be replayed
+from the per-core flag table (see :mod:`repro.simulator.native_loop`).
+
 Everything degrades gracefully: no compiler, a failed compile, or
 ``REPRO_NO_NATIVE=1`` make :func:`available` return ``False`` and the
-tree fall back to the NumPy combine.
+tree fall back to the NumPy combine (and ``wave="native"`` to the
+pure-NumPy wave loop).
 """
 
 from __future__ import annotations
 
 import ctypes
-import hashlib
 import os
-import shutil
-import subprocess
-import tempfile
 from pathlib import Path
 from typing import Optional, Tuple
 
 import numpy as np
+
+from repro.util.nativebuild import build_shared
 
 __all__ = ["available", "native_combine", "native_combine_window"]
 
@@ -195,6 +201,196 @@ int64_t advance_fast(double dt, double horizon, int64_t n,
     }
     return 0;
 }
+
+/* ------------------------------------------------------------------ */
+/* The native run engine: the whole wave-loop event body — boundary
+ * pick, zero-alloc advance, QoS check, interval rollover and the RM
+ * overhead charge — executed natively for every *steady-state* event,
+ * returning to Python only when the boundary core's decision cannot be
+ * replayed from its recorded (local_evaluations, dp_operations) entry.
+ *
+ * Per-run state is described by three caller-owned blocks:
+ *
+ *   pptrs  (uint64[29]) — array addresses, all owned by Python/NumPy:
+ *     0 stall_s        1 tpi_s          2 instr_done    3 total_instr
+ *     4 interval_elapsed 5 n_instr      6 epi_j         7 work_j
+ *     8 static_w       9 core_dyn     10 core_static   11 mem_j
+ *    12 overhead_j    13 ipc          14 set_f         15 alphas
+ *    16 base_time     17 vio_buf      18 active(u8)    19 finished(u8)
+ *    20 iv(i64)       21 pat_off(i64) 22 pat_len(i64)  23 pat_flat(i64)
+ *    24 ek_phase(i64) 25 flags(i64)   26 e_le(f64)     27 e_dp(f64)
+ *    28 dscr(f64 scratch)
+ *
+ *   fctl (double[8]) — shared float accumulators/constants:
+ *     0 horizon   1 t        2 rm_instructions  3 cost_base
+ *     4 per_eval  5 per_dp   6 min_instructions 7 violation_eps
+ *
+ *   ictl (int64[12]) — shared integer counters/constants:
+ *     0 n          1 charge     2 events_remaining  3 intervals_completed
+ *     4 qos_checks 5 rm_invocations 6 rate_refreshes 7 vio_count
+ *     8 vio_capacity 9 (spare)  10 cb_core (out)    11 unfinished
+ *
+ * Python adds to the SAME t/rm_instructions slots when it handles a
+ * callback event, so float accumulation order is exactly the wave
+ * loop's.  A CALLBACK/VIOBUF return mutates NOTHING of the pending
+ * event: Python re-derives the boundary (same arithmetic, same pick)
+ * and processes it — or drains the violation buffer — then re-enters.
+ *
+ * Fast-path eligibility for boundary core b: its replay flag is set,
+ * the entry's phase matches the completed interval's phase, and the
+ * *entering* interval has the same phase (so the record object, QoS
+ * base time, memoized rates and — for the Perfect model — the
+ * next-record memo key are all provably unchanged, making the skipped
+ * Python bookkeeping exact no-ops). */
+
+#define NL_DONE      1
+#define NL_CALLBACK  2
+#define NL_VIOBUF    3
+#define NL_MAXEVENTS 4
+
+static int64_t run_one(const uint64_t* pp, double* fctl, int64_t* ictl)
+{
+    double* stall      = (double*)pp[0];
+    const double* tpi  = (const double*)pp[1];
+    double* instr_done = (double*)pp[2];
+    double* total      = (double*)pp[3];
+    double* elapsed    = (double*)pp[4];
+    const double* n_instr = (const double*)pp[5];
+    const double* epi  = (const double*)pp[6];
+    const double* work = (const double*)pp[7];
+    const double* stat = (const double*)pp[8];
+    double* core_dyn   = (double*)pp[9];
+    double* core_static = (double*)pp[10];
+    double* mem_j      = (double*)pp[11];
+    double* over_j     = (double*)pp[12];
+    const double* ipc  = (const double*)pp[13];
+    const double* set_f = (const double*)pp[14];
+    const double* alphas = (const double*)pp[15];
+    const double* base_time = (const double*)pp[16];
+    double* vio        = (double*)pp[17];
+    const uint8_t* active   = (const uint8_t*)pp[18];
+    const uint8_t* finished = (const uint8_t*)pp[19];
+    int64_t* iv        = (int64_t*)pp[20];
+    const int64_t* pat_off = (const int64_t*)pp[21];
+    const int64_t* pat_len = (const int64_t*)pp[22];
+    const int64_t* pat_flat = (const int64_t*)pp[23];
+    const int64_t* ek_phase = (const int64_t*)pp[24];
+    const int64_t* flags = (const int64_t*)pp[25];
+    const double* e_le = (const double*)pp[26];
+    const double* e_dp = (const double*)pp[27];
+    double* dscr       = (double*)pp[28];
+
+    int64_t n = ictl[0];
+    double horizon = fctl[0];
+
+    for (;;) {
+        /* max_events is a per-*iteration* budget in the Python loops
+         * (the for-else raises when every iteration processed an event,
+         * even if the last one finished the run) — check it first. */
+        if (ictl[2] <= 0) return NL_MAXEVENTS;
+        if (ictl[11] <= 0) return NL_DONE;
+        /* Each event appends at most one violation: drain pre-event. */
+        if (ictl[7] >= ictl[8]) return NL_VIOBUF;
+
+        /* Boundary pick: first-minimum scan — numpy.argmin's tie-break
+         * over the identical per-element rem*tpi+stall arithmetic. */
+        double dt = INFINITY;
+        int64_t b = 0;
+        for (int64_t i = 0; i < n; i++) {
+            double rem = n_instr[i] - instr_done[i];
+            if (rem < 0.0) rem = 0.0;
+            double v = rem * tpi[i] + stall[i];
+            if (v < dt) { dt = v; b = i; }
+        }
+
+        int64_t L = pat_len[b];
+        const int64_t* pb = pat_flat + pat_off[b];
+        int64_t ivb = iv[b];
+        int64_t p_cur = pb[ivb % L];
+        if (!flags[b] || ek_phase[b] != p_cur || pb[(ivb + 1) % L] != p_cur) {
+            ictl[10] = b;
+            return NL_CALLBACK;
+        }
+
+        /* Advance pass 1 (non-mutating): instruction deltas + the
+         * active-masked horizon check — advance_fast's exact arithmetic. */
+        double mx = -INFINITY;
+        for (int64_t i = 0; i < n; i++) {
+            double served = stall[i] < dt ? stall[i] : dt;
+            double run = dt - served;
+            double d = run / tpi[i];
+            double rem = n_instr[i] - instr_done[i];
+            if (rem < 0.0) rem = 0.0;
+            double lim = rem + 1e-6;
+            if (lim < d) d = lim;
+            dscr[i] = d;
+            if (active[i]) {
+                double tm = total[i] + d;
+                if (tm > mx) mx = tm;
+            }
+        }
+        if (mx >= horizon) { ictl[10] = b; return NL_CALLBACK; }
+
+        /* Advance pass 2: the unmasked elementwise updates. */
+        for (int64_t i = 0; i < n; i++) {
+            double served = stall[i] < dt ? stall[i] : dt;
+            stall[i] -= served;
+            double d = dscr[i];
+            core_dyn[i] += epi[i] * d;
+            mem_j[i] += (work[i] - epi[i]) * d;
+            core_static[i] += stat[i] * dt;
+            instr_done[i] += d;
+            total[i] += d;
+            elapsed[i] += dt;
+        }
+        fctl[1] += dt;
+
+        /* QoS check on the boundary core's completed interval. */
+        if (!finished[b]) {
+            ictl[4] += 1;
+            double bt = base_time[b];
+            double rel = (elapsed[b] - bt * alphas[b]) / bt;
+            if (rel > fctl[7]) vio[ictl[7]++] = rel;
+        }
+        ictl[3] += 1;
+
+        /* Interval rollover: the entering interval's phase equals the
+         * completed one's (eligibility), so the record object — hence
+         * rates, base time and memo key — is unchanged by construction. */
+        iv[b] = ivb + 1;
+        instr_done[b] = 0.0;
+        elapsed[b] = 0.0;
+
+        /* Replayed observe: identity settings map, recorded
+         * (local_evaluations, dp_operations) bill. */
+        ictl[5] += 1;
+        double le = e_le[b], dp = e_dp[b];
+        if (ictl[1] && (le != 0.0 || dp != 0.0)) {
+            double raw = (fctl[3] + fctl[4] * le) + fctl[5] * dp;
+            double instr = raw >= fctl[6] ? raw : fctl[6];
+            fctl[2] += instr;
+            stall[b] += instr / (ipc[b] * set_f[b] * 1e9);
+            if (!finished[b]) over_j[b] += instr * epi[b];
+        }
+        /* The identity-skip refresh is a provable no-op here (same
+         * record, same setting) — count it, skip the work. */
+        ictl[6] += 1;
+        ictl[2] -= 1;
+    }
+}
+
+/* Advance every pending run (status 0) until it blocks: DONE(1),
+ * CALLBACK(2), VIOBUF(3) or MAXEVENTS(4).  One call per driver sweep —
+ * a whole batch of runs crosses the FFI boundary together. */
+void run_native(int64_t nruns, const uint64_t* blocks, int64_t* statuses)
+{
+    for (int64_t r = 0; r < nruns; r++) {
+        if (statuses[r] != 0) continue;
+        statuses[r] = run_one((const uint64_t*)blocks[3 * r],
+                              (double*)blocks[3 * r + 1],
+                              (int64_t*)blocks[3 * r + 2]);
+    }
+}
 """
 
 _lib: Optional[ctypes.CDLL] = None
@@ -221,40 +417,7 @@ _FLAG_SETS = (
 
 
 def _compile() -> Optional[Path]:
-    compiler = shutil.which("cc") or shutil.which("gcc") or shutil.which("clang")
-    if compiler is None:
-        return None
-    # The cache key covers source AND flags: a flag change must never
-    # reuse an object built under different floating-point semantics.
-    digest = hashlib.sha256(
-        (_SOURCE + repr(_FLAG_SETS)).encode()
-    ).hexdigest()[:16]
-    cache = _cache_dir()
-    so_path = cache / f"combine_{digest}.so"
-    if so_path.exists():
-        return so_path
-    try:
-        cache.mkdir(parents=True, exist_ok=True)
-        with tempfile.TemporaryDirectory(dir=cache) as tmp:
-            src = Path(tmp) / "combine.c"
-            src.write_text(_SOURCE)
-            out = Path(tmp) / "combine.so"
-            built = False
-            for flags in _FLAG_SETS:
-                proc = subprocess.run(
-                    [compiler, *flags, "-shared", "-fPIC", "-o", str(out), str(src)],
-                    capture_output=True,
-                    timeout=120,
-                )
-                if proc.returncode == 0:
-                    built = True
-                    break
-            if not built:
-                return None
-            os.replace(out, so_path)  # atomic: concurrent workers can race
-        return so_path
-    except (OSError, subprocess.SubprocessError):
-        return None
+    return build_shared(_SOURCE, _cache_dir(), "combine", _FLAG_SETS)
 
 
 def _load() -> Optional[ctypes.CDLL]:
@@ -300,6 +463,12 @@ def _load() -> Optional[ctypes.CDLL]:
             ctypes.c_double,  # horizon
             ctypes.c_int64,  # n
         ] + [ctypes.c_void_p] * 14  # per-core state arrays
+        lib.run_native.restype = None
+        lib.run_native.argtypes = [
+            ctypes.c_int64,  # nruns
+            ctypes.c_void_p,  # blocks (uint64*, 3 entries per run)
+            ctypes.c_void_p,  # statuses (int64*)
+        ]
     except OSError:
         _lib_failed = True
         return None

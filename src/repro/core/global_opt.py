@@ -75,6 +75,11 @@ class _Node:
         "nom_size",
         "win_lo",
         "win_hi",
+        "pos_lo",
+        "pos_hi",
+        "ops_cost",
+        "out_buf",
+        "out_addr",
     )
 
     def __init__(self, curve=None, left=None, right=None, choice=None):
@@ -88,6 +93,10 @@ class _Node:
         self.parent: Optional[_Node] = None
         #: Leaves under this node (window derivation).
         self.n_leaves: int = 1
+        #: Reusable native-path output buffer (and its cached address);
+        #: see :meth:`ReductionTree._update_path_native`.
+        self.out_buf: Optional[np.ndarray] = None
+        self.out_addr: int = 0
         #: Width the *unwindowed* combine would have — the accounting
         #: basis: ``dp_operations`` always charges nominal ``la * lb``
         #: cells, whether or not the accelerated path narrowed the
@@ -381,12 +390,16 @@ class ReductionTree:
         self._leaf_of = {orig: pos for pos, orig in enumerate(perm)}
         self._root = _pair_up(list(self._leaves))
         self._internal = _internal_bottom_up(self._root)
-        for leaf in self._leaves:
+        for pos, leaf in enumerate(self._leaves):
             if self.acceleration is not None:
                 leaf.curve = self._contiguous_leaf(leaf.curve)
             leaf.nom_size = leaf.curve.energy.size
+            leaf.pos_lo = pos
+            leaf.pos_hi = pos + 1
         for node in self._internal:
             node.n_leaves = node.left.n_leaves + node.right.n_leaves
+            node.pos_lo = node.left.pos_lo
+            node.pos_hi = node.right.pos_hi
         if self.acceleration is not None:
             self._derive_windows()
         combine = (
@@ -398,6 +411,22 @@ class ReductionTree:
                 ops += combine(node)
         #: Cells touched building every non-root combine once.
         self.build_operations = ops
+        #: Per-leaf-position sum of ancestor combine bills (root excluded)
+        #: — the :meth:`path_operations` answer for every leaf at once,
+        #: maintained incrementally as updates move nominal widths.
+        path_vec = np.zeros(len(self._leaves), dtype=np.int64)
+        for node in self._internal:
+            if node is self._root:
+                node.ops_cost = 0
+                continue
+            cost = node.left.nom_size * node.right.nom_size
+            node.ops_cost = cost
+            path_vec[node.pos_lo : node.pos_hi] += cost
+        self._path_vec_pos = path_vec
+        #: caller index -> leaf position, as a gather array.
+        self._pos_of_caller = np.array(
+            [self._leaf_of[i] for i in range(len(self._leaves))], dtype=np.intp
+        )
         self._w_min_total = sum(c.w_min for c in curves)
         self._w_max_total = sum(c.w_max for c in curves)
         #: Accelerated-path evaluation memo: (budget, total, ops, extract)
@@ -502,7 +531,9 @@ class ReductionTree:
         if self.acceleration is not None:
             lib = _native_opt.raw_lib()
             if lib is not None:
-                return self._update_path_native(lib, leaf)
+                ops = self._update_path_native(lib, leaf)
+                self._refresh_path_vec(leaf)
+                return ops
             combine = _combine_node_accel
         else:
             combine = _combine_node
@@ -511,7 +542,28 @@ class ReductionTree:
         while node is not None and node is not self._root:
             ops += combine(node)
             node = node.parent
+        self._refresh_path_vec(leaf)
         return ops
+
+    def _refresh_path_vec(self, leaf: _Node) -> None:
+        """Fold one path's moved nominal widths into the per-leaf vector.
+
+        Only nodes on the updated leaf's path can change their combine
+        bill; each changed node's delta applies to exactly the leaves
+        under it (its contiguous position span).  Steady-state updates
+        that swap same-width curves touch nothing.
+        """
+        vec = self._path_vec_pos
+        node = leaf.parent
+        root = self._root
+        while node is not None and node is not root:
+            cost = node.left.nom_size * node.right.nom_size
+            old = node.ops_cost
+            if cost != old:
+                node.ops_cost = cost
+                vec[node.pos_lo : node.pos_hi] += cost - old
+            node = node.parent
+        return None
 
     def _update_path_native(self, lib, leaf: _Node) -> int:
         """One FFI call recombines the whole leaf-to-root path.
@@ -537,8 +589,9 @@ class ReductionTree:
             )
         sibs, sib_ns, sib_left, w0s, w1s, bests = bufs
         child = leaf
-        cur_lo = leaf.curve.w_min
-        cur_n = leaf.curve.energy.size
+        lc = leaf.curve
+        cur_lo = lc.w_min
+        cur_n = lc.energy.size
         cur_nom = leaf.nom_size
         node = leaf.parent
         root = self._root
@@ -556,13 +609,27 @@ class ReductionTree:
             if win_lo > win_hi:  # pragma: no cover - budget validated
                 raise ValueError("empty budget window; budget outside domain")
             n_out = win_hi - win_lo + 1
-            best = np.empty(n_out)
-            sibs[n_levels] = sc.energy.ctypes.data
+            # Steady-state updates reuse the node's output buffer (and
+            # its cached address) — the kernel overwrites it in place,
+            # and the node's curve object survives when its window is
+            # unchanged.  Safe because internal curves are never
+            # retained across updates (leaf curves are the only
+            # identity-checked objects) and distinct nodes never share
+            # a buffer.
+            best = node.out_buf
+            if best is None or best.size != n_out:
+                best = node.out_buf = np.empty(n_out)
+                node.out_addr = best.ctypes.data
+            addr = getattr(sc, "_caddr", None)
+            if addr is None:
+                addr = sc.energy.ctypes.data
+                object.__setattr__(sc, "_caddr", addr)
+            sibs[n_levels] = addr
             sib_ns[n_levels] = sc.energy.size
             sib_left[n_levels] = 0 if path_is_left else 1
             w0s[n_levels] = win_lo - nat_lo
             w1s[n_levels] = win_hi - nat_lo
-            bests[n_levels] = best.ctypes.data
+            bests[n_levels] = node.out_addr
             ops += cur_nom * sib.nom_size
             cur_nom = cur_nom + sib.nom_size - 1
             outs.append((node, win_lo, best, cur_nom))
@@ -577,10 +644,14 @@ class ReductionTree:
             # Reversal scratch for the kernel: any operand's width is
             # bounded by the widest possible combined domain.
             scratch = self._c_scratch = np.empty(self._w_max_total + 1)
+        addr = getattr(lc, "_caddr", None)
+        if addr is None:
+            addr = lc.energy.ctypes.data
+            object.__setattr__(lc, "_caddr", addr)
         lib.path_update(
             n_levels,
-            leaf.curve.energy.ctypes.data,
-            leaf.curve.energy.size,
+            addr,
+            lc.energy.size,
             sibs,
             sib_ns,
             sib_left,
@@ -590,7 +661,9 @@ class ReductionTree:
             scratch.ctypes.data,
         )
         for node, win_lo, best, nom in outs:
-            node.curve = EnergyCurve.from_reduction(win_lo, best)
+            cur = node.curve
+            if cur is None or cur.energy is not best or cur.w_min != win_lo:
+                node.curve = EnergyCurve.from_reduction(win_lo, best)
             node.choice = None  # back-tracks recover columns on demand
             node.w_lo = win_lo
             node.nom_size = nom
@@ -614,6 +687,18 @@ class ReductionTree:
             ops += node.left.nom_size * node.right.nom_size
             node = node.parent
         return ops
+
+    def path_operations_all(self) -> np.ndarray:
+        """:meth:`path_operations` for every caller index, as one vector.
+
+        Read off the incrementally maintained per-position sums (updates
+        fold their width deltas in as they happen), gathered back to
+        caller order.  Always equal, element for element, to calling
+        :meth:`path_operations` per index — batch consumers (the native
+        loop's flag repair re-bills every standing entry after a tree
+        change) index this instead of walking per core.
+        """
+        return self._path_vec_pos[self._pos_of_caller]
 
     def evaluate(self, total_ways: int):
         """Root evaluation with deferred way extraction.

@@ -229,6 +229,13 @@ class ResourceManager:
             min(min(candidates), self._baseline.ways),
             max(max(candidates), self._baseline.ways),
         )
+        #: Monotonic counter bumped whenever any state the native run
+        #: engine replays decisions from may have moved: a curve/partition
+        #: change, any rebind of ``_last_settings``, or a reset.  The
+        #: native driver snapshots it around each Python-handled boundary
+        #: and re-derives its per-core replay flags when it moved (see
+        #: :meth:`native_replay_info`).
+        self.state_epoch = 0
 
     def _pinned_curves(self) -> List[EnergyCurve]:
         pinned = EnergyCurve.pinned(self.system.baseline_setting().ways)
@@ -358,6 +365,7 @@ class ResourceManager:
         )
         state.result = result
         if not unchanged:
+            self.state_epoch += 1
             if not result.curve.has_feasible_point():
                 self._curves[changed_core] = EnergyCurve.pinned(baseline.ways)
             else:
@@ -415,6 +423,7 @@ class ResourceManager:
                 settings = dict(last)
                 settings[changed_core] = setting_b
                 self._last_settings = settings
+                self.state_epoch += 1
                 return RMDecision(
                     settings=settings,
                     local_evaluations=result.evaluations,
@@ -455,6 +464,7 @@ class ResourceManager:
                 elif i == changed_core:
                     settings[i] = self._setting_for(i, w, baseline)
         self._last_settings = settings
+        self.state_epoch += 1
         return RMDecision(
             settings=settings,
             local_evaluations=result.evaluations,
@@ -535,6 +545,95 @@ class ResourceManager:
         self._keep_energy = total
         return total
 
+    def native_replay_info(
+        self, core_id: int, applied: Optional[Dict[int, Setting]]
+    ) -> Optional[tuple]:
+        """Prove one core's next same-phase observe is replayable natively.
+
+        ``applied`` is the settings map the simulator currently has in
+        force.  Returns ``(local_evaluations, dp_operations)`` — the exact
+        accounting the next observe of ``core_id`` would charge — when
+        that observe is *provably* an identity decision: a memo replay of
+        the result object whose curve the reduction tree already holds,
+        landing on the hysteresis keep branch, handing back ``applied``
+        itself.  Returns None whenever any link of that proof chain is
+        missing; the native loop then takes the callback path, which is
+        always correct (just slower).
+
+        Only memoizing, wave-accelerated, incremental-reduction managers
+        qualify: those are the invariants the identity-return branches of
+        :meth:`_reoptimize` are built on.  The queries below
+        (:meth:`_energy_at_partition`,
+        :meth:`~repro.core.global_opt.ReductionTree.evaluate`) are pure
+        memo reads — calling them here mutates no decision state.
+        """
+        if applied is None or applied is not self._last_settings:
+            return None
+        if self.local_memo is None or not self._accelerate:
+            return None
+        if self.reduction != "incremental":
+            return None
+        tree = self._tree
+        if tree is None:
+            return None
+        result = self._cores[core_id].result
+        if result is None or self._curves[core_id] is not result.curve:
+            return None
+        keep_energy = self._energy_at_partition()
+        if keep_energy is None:
+            return None
+        try:
+            total_energy, eval_ops, _ = tree.evaluate(self.system.total_ways)
+        except ValueError:
+            return None
+        if not (
+            keep_energy - total_energy < self.switch_threshold * abs(keep_energy)
+        ):
+            return None
+        return (result.evaluations, tree.path_operations(core_id) + eval_ops)
+
+    def native_replay_rebill(
+        self, applied: Optional[Dict[int, Setting]]
+    ) -> Optional[tuple]:
+        """Batch re-proof of standing replay entries after a state change.
+
+        Equivalent to re-running :meth:`native_replay_info` for every
+        flagged core, exploiting that only the core-independent links of
+        the proof chain can move underneath a *standing* flag: a core's
+        ``result``/curve binding changes only at that core's own observe,
+        where the simulator rewrites its flag anyway, so those per-core
+        premises still hold from flag time.  What must be re-checked is
+        the shared gate (mode invariants, the hysteresis keep branch) and
+        what must be re-billed is the DP charge (tree widths and the root
+        evaluation can shift with any leaf update).
+
+        Returns ``(eval_ops, path_ops)`` — the flagged cores' fresh bill
+        being ``path_ops[core] + eval_ops`` with their recorded
+        ``local_evaluations`` unchanged — or None when the gate fails and
+        every standing flag must drop.
+        """
+        if applied is None or applied is not self._last_settings:
+            return None
+        if self.local_memo is None or not self._accelerate:
+            return None
+        if self.reduction != "incremental":
+            return None
+        tree = self._tree
+        if tree is None:
+            return None
+        keep_energy = self._energy_at_partition()
+        if keep_energy is None:
+            return None
+        try:
+            total_energy, eval_ops, _ = tree.evaluate(self.system.total_ways)
+        except ValueError:
+            return None
+        if not (
+            keep_energy - total_energy < self.switch_threshold * abs(keep_energy)
+        ):
+            return None
+        return (eval_ops, tree.path_operations_all())
+
     def reset(self) -> None:
         baseline = self.system.baseline_setting()
         for state in self._cores.values():
@@ -551,6 +650,7 @@ class ResourceManager:
         ]
         self._keep_energy = False
         self._last_settings = None
+        self.state_epoch += 1
         if self.local_memo is not None:
             self.local_memo.clear()
 
@@ -567,6 +667,8 @@ class IdleRM(ResourceManager):
             RMCapabilities(adapt_frequency=False, adapt_core=False),
         )
         self._idle_settings: Optional[Dict[int, Setting]] = None
+        #: Idle bills are identically zero; shared vector for rebills.
+        self._zero_bills = np.zeros(system.n_cores, dtype=np.int64)
 
     def observe(self, core_id: int, inputs: ModelInputs) -> RMDecision:
         self._core_state(core_id)  # validate the id
@@ -578,6 +680,7 @@ class IdleRM(ResourceManager):
             baseline = self.system.baseline_setting()
             settings = {i: baseline for i in range(self.system.n_cores)}
             self._idle_settings = settings
+            self.state_epoch += 1
         return RMDecision(
             settings=settings,
             local_evaluations=0,
@@ -592,6 +695,21 @@ class IdleRM(ResourceManager):
     def precompute_wave(self, wave) -> int:
         """Idle never optimises: there is nothing to batch."""
         return 0
+
+    def native_replay_info(
+        self, core_id: int, applied: Optional[Dict[int, Setting]]
+    ) -> Optional[tuple]:
+        """Idle observes are always the identity map with a zero bill."""
+        if applied is not None and applied is self._idle_settings:
+            return (0, 0)
+        return None
+
+    def native_replay_rebill(
+        self, applied: Optional[Dict[int, Setting]]
+    ) -> Optional[tuple]:
+        if applied is not None and applied is self._idle_settings:
+            return (0, self._zero_bills)
+        return None
 
     def reset(self) -> None:
         super().reset()

@@ -1,0 +1,487 @@
+"""Driver for the one-call native run engine (``wave="native"``).
+
+The compiled event loop (``run_native`` in :mod:`repro.core._native_opt`)
+advances a run through every *steady-state* event — boundary pick,
+zero-alloc advance, QoS check, interval rollover and the replayed RM
+overhead charge — entirely in C over the same struct-of-arrays state the
+wave loop uses, and returns to Python only when an event needs work no
+per-core replay entry can prove exact:
+
+* ``CALLBACK`` — the boundary core's decision is not replayable (its
+  replay flag is down, a phase transition is crossing, or an unfinished
+  core would reach the horizon this event).  Nothing has been mutated:
+  :meth:`NativeRunDriver.handle_callback` re-derives the boundary with
+  the wave loop's own arithmetic and runs the wave-loop event body
+  verbatim — speculation, ``advance_cores_wave``, QoS, rollover,
+  ``rm.observe``, overhead charge and the settings diff.
+* ``VIOBUF`` — the fixed-size violation buffer filled up; Python drains
+  it (violations are drained after *every* native return, before any
+  callback handling, so the violations list keeps exact event order).
+* ``DONE`` / ``MAXEVENTS`` — terminal.
+
+The replay flags are the correctness core.  A core's flag asserts: *its
+next observe, at this phase, under the currently applied settings map,
+is provably an identity decision charging exactly* ``(e_le, e_dp)``.
+The proof is delegated to
+:meth:`repro.core.managers.ResourceManager.native_replay_info`, and the
+flag is maintained conservatively:
+
+* rewritten (or cleared) for the boundary core after every callback —
+  and only when the entering interval keeps the same phase, so the
+  record object, its memoized rates, the QoS base time and the local
+  memo key (including the Perfect model's next-record fingerprint,
+  pinned by the C loop's own next-phase eligibility check) are all
+  provably unchanged on the fast path;
+* cleared for every core whose *setting* changed in a decision (the
+  replay proof cannot see the recorded entry's setting premise);
+* re-proved for every flagged core whenever
+  :attr:`~repro.core.managers.ResourceManager.state_epoch` moved across
+  an observe — curve rebinds, re-partitions and settings-map rebinds
+  all bump it, so stale bills are repaired (or the flag dropped) before
+  the native loop can replay them.
+
+Shared accumulator slots (wall-clock ``t``, ``rm_instructions``, the
+event counters) live in the per-run control blocks and are added to by
+C and Python in strict event order, so float accumulation — hence the
+final result — is bit-identical to the wave loop (differentially tested
+across RMs × models × overheads in ``tests/test_native_loop.py``).
+
+:func:`drive` advances any number of runs through one shared
+``run_native`` call per sweep — the multi-run batching surface used by
+:mod:`repro.simulator.batch`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.config import Setting
+from repro.core import _native_opt
+from repro.core.perf_models import ModelInputs
+from repro.simulator.metrics import SettingChange
+
+__all__ = ["NativeRunDriver", "drive"]
+
+#: Status codes of the C loop (see the kernel source).
+DONE, CALLBACK, VIOBUF, MAXEVENTS = 1, 2, 3, 4
+
+#: Violation buffer capacity per run; a full buffer just costs one extra
+#: FFI round-trip, so modest is fine.
+_VIO_CAPACITY = 4096
+
+
+class NativeRunDriver:
+    """Owns one run's control blocks and its Python-side event handling.
+
+    Built on the simulator's prepared ``_CoreStates`` (the C loop
+    mutates those arrays in place); :meth:`totals` returns the same
+    tuple the wave loop returns, for :meth:`MulticoreRMSimulator._finish_run`.
+    """
+
+    def __init__(self, sim, st, horizon: float, baseline: Setting, max_events: int, history):
+        from repro.simulator.rmsim import (
+            _VIOLATION_EPS,
+            advance_cores_wave_unscratched,
+        )
+
+        self._vio_eps = _VIOLATION_EPS
+        self._advance = advance_cores_wave_unscratched
+        rm = sim.rm
+        n = st.n
+        # The wave loop's entry validation.
+        if st.stall_s.min() < 0 or st.tpi_s.min() <= 0:
+            raise ValueError("invalid progress state")
+
+        self.sim = sim
+        self.st = st
+        self.rm = rm
+        self.horizon = float(horizon)
+        self.baseline = baseline
+        self.history = history
+        self.violations: List[float] = []
+        self.applied_settings: Optional[Dict[int, Setting]] = None
+
+        # Wave-loop hoisted constants.
+        self.charge = sim.charge_overheads
+        self.cost_model = sim.cost_model
+        self.mem_latency_s = sim.system.memory.base_latency_s
+        self.mem_access_j = sim.system.memory.access_energy_nj * 1e-9
+        self.alphas = [sim._alpha_for(i) for i in range(n)]
+        self.speculate = bool(getattr(rm, "wants_wave_precompute", False))
+        self.eps = sim.wave_epsilon_s if sim.wave == "epsilon" else 0.0
+        self.base_time_of: Dict[int, float] = {}
+        self.spec_mark = [-1] * n
+
+        # Per-core phase patterns as plain int tuples (AppSpec's own
+        # representation) for the callback side, flattened for C.
+        pats = [sim.db.apps[name].phase_pattern for name in st.apps]
+        self.pats = pats
+        self._pat_len = np.array([len(p) for p in pats], dtype=np.int64)
+        self._pat_off = np.zeros(n, dtype=np.int64)
+        off = 0
+        flat: List[int] = []
+        for i, p in enumerate(pats):
+            self._pat_off[i] = off
+            flat.extend(p)
+            off += len(p)
+        self._pat_flat = np.array(flat, dtype=np.int64)
+
+        # Replay-flag table + native-only scratch.
+        self.flags = np.zeros(n, dtype=np.int64)
+        self.ek_phase = np.zeros(n, dtype=np.int64)
+        self.e_le = np.zeros(n)
+        self.e_dp = np.zeros(n)
+        self._dscr = np.empty(n)
+        self._alphas_arr = np.array(self.alphas, dtype=float)
+        self._vio_buf = np.empty(_VIO_CAPACITY)
+
+        # QoS base times, kept current for C (same memoized
+        # ``record.time_at(baseline)`` values the wave loop derives).
+        self.cur_base_time = np.empty(n)
+        for i in range(n):
+            self.cur_base_time[i] = self._base_time(st.records[i])
+
+        cm = self.cost_model
+        fctl = np.zeros(8)
+        fctl[0] = self.horizon
+        fctl[1] = 0.0  # t
+        fctl[2] = 0.0  # rm_instructions
+        # Exactly the left-assoc head of RMCostModel.instructions:
+        # (fixed + per_core*n) is its first evaluated subexpression.
+        fctl[3] = cm.fixed + cm.per_core * n
+        fctl[4] = cm.per_eval
+        fctl[5] = cm.per_dp
+        fctl[6] = cm.min_instructions
+        fctl[7] = _VIOLATION_EPS
+        self.fctl = fctl
+
+        ictl = np.zeros(12, dtype=np.int64)
+        ictl[0] = n
+        ictl[1] = 1 if self.charge else 0
+        ictl[2] = max_events
+        ictl[8] = _VIO_CAPACITY
+        ictl[11] = n - int(st.finished.sum())
+        self.ictl = ictl
+
+        pptrs = np.zeros(29, dtype=np.uint64)
+        for slot, arr in enumerate(
+            (
+                st.stall_s,
+                st.tpi_s,
+                st.instr_done,
+                st.total_instr,
+                st.interval_elapsed_s,
+                st.n_instructions,
+                st.epi_j,
+                st.work_j_per_inst,
+                st.static_w,
+                st.core_dynamic_j,
+                st.core_static_j,
+                st.memory_j,
+                st.overhead_j,
+                st.ipc,
+                st.set_f,
+                self._alphas_arr,
+                self.cur_base_time,
+                self._vio_buf,
+                st._active,
+                st.finished,
+                st.intervals,
+                self._pat_off,
+                self._pat_len,
+                self._pat_flat,
+                self.ek_phase,
+                self.flags,
+                self.e_le,
+                self.e_dp,
+                self._dscr,
+            )
+        ):
+            pptrs[slot] = arr.ctypes.data
+        self.pptrs = pptrs
+
+    # ------------------------------------------------------------------
+    def _base_time(self, record) -> float:
+        rid = id(record)
+        bt = self.base_time_of.get(rid)
+        if bt is None:
+            bt = record.time_at(self.baseline)
+            self.base_time_of[rid] = bt
+        return bt
+
+    def drain_violations(self) -> None:
+        """Flush C-buffered violations (they precede any pending event)."""
+        count = int(self.ictl[7])
+        if count:
+            self.violations.extend(float(v) for v in self._vio_buf[:count])
+            self.ictl[7] = 0
+
+    # ------------------------------------------------------------------
+    def handle_callback(self) -> None:
+        """Process one boundary event: the wave-loop body verbatim.
+
+        The C loop mutated nothing for this event; the boundary is
+        re-derived with the wave loop's own NumPy arithmetic (which also
+        fills the ``st._remaining`` scratch the advance kernel's NumPy
+        fallback consumes), then the exact `_loop_wave` sequence runs —
+        plus the replay-flag maintenance that feeds the native loop.
+        """
+        sim = self.sim
+        st = self.st
+        rm = self.rm
+        db = sim.db
+        n_cores = st.n
+        horizon = self.horizon
+        charge = self.charge
+        cost_model = self.cost_model
+        alphas = self.alphas
+        fctl = self.fctl
+        ictl = self.ictl
+        flags = self.flags
+
+        stall_s = st.stall_s
+        tpi_s = st.tpi_s
+        instr_done = st.instr_done
+        n_instructions = st.n_instructions
+        finished = st.finished
+        records = st.records
+        settings_list = st.settings
+        intervals = st.intervals
+        interval_elapsed = st.interval_elapsed_s
+        apps_list = st.apps
+        record_for_interval = db.record_for_interval
+
+        # The C loop already picked the boundary (its pick arithmetic is
+        # the same float64 expression as the wave loop's vectorized one,
+        # compiled with contraction off), so re-derive only the scalar dt.
+        b = int(ictl[10])
+        rem_b = float(n_instructions[b]) - float(instr_done[b])
+        if rem_b < 0.0:
+            rem_b = 0.0
+        dt = rem_b * float(tpi_s[b]) + float(stall_s[b])
+
+        if self.speculate:
+            dts = st._dts
+            rem = st._remaining
+            np.subtract(n_instructions, instr_done, out=rem)
+            np.maximum(rem, 0.0, out=rem)
+            np.multiply(rem, tpi_s, out=dts)
+            dts += stall_s
+            spec_mark = self.spec_mark
+            wave_mask = dts <= dt + self.eps
+            if int(wave_mask.sum()) > 1:
+                members = np.nonzero(wave_mask)[0]
+                wave_inputs = []
+                for i in members.tolist():
+                    iv = intervals[i]
+                    if spec_mark[i] == iv:
+                        continue
+                    spec_mark[i] = iv
+                    rec = records[i]
+                    wave_inputs.append(
+                        (
+                            i,
+                            ModelInputs(
+                                counters=rec.counters_at(settings_list[i]),
+                                atd=rec.atd_report(),
+                                next_record=record_for_interval(
+                                    apps_list[i], iv + 1
+                                ),
+                            ),
+                        )
+                    )
+                if wave_inputs:
+                    rm.precompute_wave(wave_inputs)
+
+        self._advance(st, dt, horizon)
+        fctl[1] += dt
+
+        elapsed = float(interval_elapsed[b])
+        record = records[b]
+        setting = settings_list[b]
+        base_time = self._base_time(record)
+        if not finished[b]:
+            ictl[4] += 1
+            rel = (elapsed - base_time * alphas[b]) / base_time
+            if rel > self._vio_eps:
+                self.violations.append(rel)
+        ictl[3] += 1
+
+        counters = record.counters_at(setting)
+        atd = record.atd_report()
+        pat = self.pats[b]
+        L = len(pat)
+        iv_done = int(intervals[b])
+        p_old = pat[iv_done % L]
+        p_new = pat[(iv_done + 1) % L]
+        intervals[b] += 1
+        instr_done[b] = 0.0
+        interval_elapsed[b] = 0.0
+        records[b] = record_for_interval(apps_list[b], intervals[b])
+        self.cur_base_time[b] = self._base_time(records[b])
+
+        inputs = ModelInputs(
+            counters=counters, atd=atd, next_record=records[b]
+        )
+        epoch_before = rm.state_epoch
+        decision = rm.observe(b, inputs)
+        ictl[5] += 1
+
+        if charge and (
+            decision.local_evaluations or decision.dp_operations
+        ):
+            instr = cost_model.instructions(
+                n_cores,
+                decision.local_evaluations,
+                decision.dp_operations,
+            )
+            fctl[2] += instr
+            stall_s[b] += cost_model.time_overhead_s(
+                instr, float(st.ipc[b]), setting.f_ghz
+            )
+            if not finished[b]:
+                st.overhead_j[b] += instr * float(st.epi_j[b])
+
+        if decision.settings is self.applied_settings:
+            st.refresh_rates_memo(b)
+        else:
+            self.applied_settings = decision.settings
+            changed = st.diff_settings(self.applied_settings)
+            history = self.history
+            for i in changed:
+                new_setting = self.applied_settings[i]
+                if charge:
+                    cost = sim.dvfs.transition_cost(
+                        settings_list[i], new_setting
+                    )
+                    stall_add_s, energy_j = sim.repartition.cost(
+                        new_setting.ways - settings_list[i].ways,
+                        self.mem_latency_s,
+                        self.mem_access_j,
+                    )
+                    stall_s[i] += cost.time_s + stall_add_s
+                    if not finished[i]:
+                        st.overhead_j[i] += cost.energy_j + energy_j
+                settings_list[i] = new_setting
+                st.sync_setting_arrays(i)
+                if history is not None:
+                    history.append(
+                        SettingChange(float(fctl[1]), i, new_setting)
+                    )
+                # The replay premise bakes in the applied setting; a
+                # moved setting invalidates it outright.
+                flags[i] = 0
+                if i != b:
+                    st.refresh_rates_memo(i)
+            st.refresh_rates_memo(b)
+
+        if rm.state_epoch != epoch_before:
+            self._repair_flags()
+        if settings_list[b] == setting:
+            self._record_flag(b, p_old, p_new)
+        else:
+            # The decision moved the boundary core's own setting: the next
+            # boundary's memo key derives counters from the *new* setting,
+            # so the stored result can never replay by identity.
+            self.flags[b] = 0
+        ictl[11] = n_cores - int(finished.sum())
+        ictl[2] -= 1
+
+    # ------------------------------------------------------------------
+    def _record_flag(self, b: int, p_old: int, p_new: int) -> None:
+        """(Re)write the boundary core's replay entry after its observe."""
+        if p_new == p_old:
+            info = self.rm.native_replay_info(b, self.applied_settings)
+            if info is not None:
+                self.flags[b] = 1
+                self.ek_phase[b] = p_old
+                self.e_le[b] = float(info[0])
+                self.e_dp[b] = float(info[1])
+                return
+        self.flags[b] = 0
+
+    def _repair_flags(self) -> None:
+        """Re-prove every flagged core after a manager state change.
+
+        Curve rebinds, re-partitions and settings-map rebinds all move
+        ``state_epoch``; any of them can shift a standing entry's DP
+        bill (the root evaluation runs over the new tree) or break the
+        identity premise entirely (the keep gate can flip).  Each
+        surviving flag gets the freshly proved bill; failures drop the
+        flag and the next boundary takes the callback path.
+        """
+        flagged = np.nonzero(self.flags)[0]
+        if not flagged.size:
+            return
+        applied = self.applied_settings
+        info = (
+            None if applied is None else self.rm.native_replay_rebill(applied)
+        )
+        if info is None:
+            self.flags[flagged] = 0
+            return
+        eval_ops, path_ops = info
+        self.e_dp[flagged] = path_ops[flagged] + eval_ops
+
+    # ------------------------------------------------------------------
+    def totals(self):
+        """The wave loop's return tuple (folds the C-side counters)."""
+        st = self.st
+        ictl = self.ictl
+        st.rate_refreshes += int(ictl[6])
+        ictl[6] = 0
+        return (
+            float(self.fctl[1]),
+            int(ictl[3]),
+            int(ictl[4]),
+            self.violations,
+            int(ictl[5]),
+            float(self.fctl[2]),
+        )
+
+
+def drive(drivers: Sequence[NativeRunDriver]) -> None:
+    """Advance every run to completion through the shared native loop.
+
+    One ``run_native`` call per sweep moves *all* still-pending runs
+    forward until each blocks (callback / buffer drain / done); Python
+    then services the blocked runs and re-enters.  Raises the event-loop
+    ``RuntimeError`` when any run exhausts its event budget — exactly
+    the Python loops' for-else semantics.
+    """
+    lib = _native_opt.raw_lib()
+    if lib is None:
+        raise RuntimeError("native run engine unavailable")
+    nruns = len(drivers)
+    blocks = np.empty(3 * nruns, dtype=np.uint64)
+    for r, d in enumerate(drivers):
+        blocks[3 * r] = d.pptrs.ctypes.data
+        blocks[3 * r + 1] = d.fctl.ctypes.data
+        blocks[3 * r + 2] = d.ictl.ctypes.data
+    statuses = np.zeros(nruns, dtype=np.int64)
+    run_native = lib.run_native
+    blocks_addr = blocks.ctypes.data
+    statuses_addr = statuses.ctypes.data
+    while True:
+        run_native(nruns, blocks_addr, statuses_addr)
+        pending = False
+        for r, d in enumerate(drivers):
+            s = int(statuses[r])
+            if s == 0:
+                continue
+            # Buffered violations precede whatever event blocked the run.
+            d.drain_violations()
+            if s == DONE:
+                continue
+            if s == MAXEVENTS:
+                raise RuntimeError(
+                    "simulation exceeded max_events; check inputs"
+                )
+            if s == CALLBACK:
+                d.handle_callback()
+            statuses[r] = 0
+            pending = True
+        if not pending:
+            return

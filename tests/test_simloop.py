@@ -187,6 +187,7 @@ class TestWaveDifferential:
         assert texts["scalar"] == texts["step"] == texts["epsilon"]
 
     def test_wave_mode_resolution_and_validation(self, mini_db, system2, monkeypatch):
+        monkeypatch.delenv("REPRO_SIM_WAVE", raising=False)
         sim = MulticoreRMSimulator(mini_db, IdleRM(system2))
         assert sim.wave == "step"
         monkeypatch.setenv("REPRO_SIM_WAVE", "epsilon")

@@ -570,9 +570,10 @@ def measure_simloop(
                 memo = rm.local_memo
                 hit_rate = memo.hit_rate if memo is not None else 0.0
                 t0 = time.perf_counter()
-                run("native")
+                native_result, _ = run("native")
                 times["native"].append(time.perf_counter() - t0)
                 times["batch"].append(batch())
+            native_stats = native_result.native_stats
         finally:
             if saved_env is None:
                 os.environ.pop("REPRO_LOCAL_MEMO", None)
@@ -587,6 +588,15 @@ def measure_simloop(
         "runs_per_sec": SIMLOOP_BATCH_WIDTH / med(times["batch"]),
         "events": result.rm_invocations,
         "memo_hit_rate": hit_rate,
+        # Replay observability from the native run (null without a
+        # compiler — the mode degrades to the wave loop and reports no
+        # native counters).
+        "native_replay_fraction": (
+            native_stats["native_replay_fraction"] if native_stats else None
+        ),
+        "native_callbacks": (
+            dict(native_stats["callbacks"]) if native_stats else None
+        ),
         "rounds": rounds,
     }
 
@@ -610,13 +620,16 @@ def emit_simloop() -> int:
             row["wave_warm_s"] / row["native_s"]
         )
         per_cores[str(n)] = row
+        frac = row["native_replay_fraction"]
+        frac_text = "n/a" if frac is None else f"{frac:.3f}"
         print(
             f"{n:>3} cores: scalar {row['scalar_s']*1e3:7.1f} ms, "
             f"wave warm {row['wave_warm_s']*1e3:7.1f} ms "
             f"({row['wave_warm_speedup_vs_scalar']:.2f}x, "
             f"hit rate {row['memo_hit_rate']:.2f}), "
             f"native {row['native_s']*1e3:7.1f} ms "
-            f"({row['native_speedup_vs_scalar']:.2f}x), "
+            f"({row['native_speedup_vs_scalar']:.2f}x, "
+            f"replay {frac_text}), "
             f"batched {row['runs_per_sec']:.1f} runs/s"
         )
 
@@ -651,6 +664,11 @@ def emit_simloop() -> int:
                 top["native_speedup_vs_wave_warm"], 2
             ),
             "batched_64c_runs_per_sec": round(top["runs_per_sec"], 1),
+            "native_64c_replay_fraction": (
+                None
+                if top["native_replay_fraction"] is None
+                else round(top["native_replay_fraction"], 3)
+            ),
         },
     }
     _write(REPO_ROOT / "BENCH_simloop.json", payload)
@@ -698,6 +716,20 @@ def check_simloop() -> int:
         print(native_line)
         if native_speedup < native_floor:
             failures.append(f"native speedup collapse: {native_line}")
+    committed_frac = base.get("native_replay_fraction")
+    measured_frac = row.get("native_replay_fraction")
+    if committed_frac is not None and measured_frac is not None:
+        # The replay fraction is a count ratio, not a timing: it is
+        # noise-free on shared runners, so a modest tolerance (the odd
+        # gate fire landing differently across toolchains) suffices.
+        frac_floor = committed_frac - 0.10
+        frac_line = (
+            f"16 cores: native replay fraction {measured_frac:.3f} "
+            f"(committed {committed_frac:.3f}, floor {frac_floor:.3f})"
+        )
+        print(frac_line)
+        if measured_frac < frac_floor:
+            failures.append(f"native replay-fraction collapse: {frac_line}")
     if failures:
         for f in failures:
             print(f"FAIL: {f}", file=sys.stderr)

@@ -81,9 +81,12 @@ __all__ = [
     "CampaignStats",
     "ResultSet",
     "SpecTimeout",
+    "aggregate_native_stats",
     "batch_runs_enabled",
     "execute_spec",
+    "format_native_stats_table",
     "make_model",
+    "native_stats_enabled",
     "resolve_campaign_workers",
     "run_batch",
     "run_campaign",
@@ -121,6 +124,14 @@ STRAGGLER_FACTOR_ENV = "REPRO_STRAGGLER_FACTOR"
 #: Results are bit-identical to serial execution; only scheduling
 #: changes.  Ignored when a worker pool is engaged.
 BATCH_RUNS_ENV = "REPRO_BATCH_RUNS"
+
+#: Opt-in replay observability: truthy values aggregate the native
+#: loop's per-run replay counters (``SimResult.native_stats``) across
+#: the campaign and print a per-RM replay-fraction table when it
+#: finishes.  Observability only, never an input: the counters are
+#: excluded from result equality, result fingerprints and the on-disk
+#: store alike, so toggling the knob can never split the cache.
+NATIVE_STATS_ENV = "REPRO_NATIVE_STATS"
 
 #: Auto mode engages the pool only for at least this many pending runs.
 _AUTO_POOL_MIN_RUNS = 16
@@ -410,6 +421,76 @@ def batch_runs_enabled() -> bool:
     """Whether :data:`BATCH_RUNS_ENV` opts serial runs into batching."""
     raw = os.environ.get(BATCH_RUNS_ENV, "").strip().lower()
     return raw not in ("", "0", "false", "no")
+
+
+def native_stats_enabled() -> bool:
+    """Whether :data:`NATIVE_STATS_ENV` turns on replay aggregation."""
+    raw = os.environ.get(NATIVE_STATS_ENV, "").strip().lower()
+    return raw not in ("", "0", "false", "no")
+
+
+def aggregate_native_stats(
+    results: Iterable[SimResult],
+) -> Dict[str, Dict[str, float]]:
+    """Sum each RM's native replay counters across ``results``.
+
+    Runs without counters (non-native modes, the no-compiler fallback,
+    disk-cache hits — the store never persists observability fields)
+    are tallied separately so a low fraction is never an artefact of
+    missing data.
+    """
+    agg: Dict[str, Dict[str, float]] = {}
+    for result in results:
+        row = agg.setdefault(
+            result.rm_name,
+            {
+                "runs": 0,
+                "runs_without_stats": 0,
+                "rm_invocations": 0,
+                "replayed": 0,
+                "cb_cold": 0,
+                "cb_phase": 0,
+                "cb_miss": 0,
+                "cb_gate": 0,
+                "cb_other": 0,
+            },
+        )
+        row["runs"] += 1
+        stats = result.native_stats
+        if not stats:
+            row["runs_without_stats"] += 1
+            continue
+        row["rm_invocations"] += stats["rm_invocations"]
+        row["replayed"] += stats["replayed"]
+        for cause, count in stats["callbacks"].items():
+            row[f"cb_{cause}"] += count
+    for row in agg.values():
+        inv = row["rm_invocations"]
+        row["native_replay_fraction"] = (
+            row["replayed"] / inv if inv else None
+        )
+    return agg
+
+
+def format_native_stats_table(
+    agg: Dict[str, Dict[str, float]]
+) -> str:
+    """Render the per-RM replay-fraction table (one line per RM)."""
+    lines = ["[native replay stats]"]
+    for rm_name in sorted(agg):
+        row = agg[rm_name]
+        frac = row["native_replay_fraction"]
+        frac_text = "n/a" if frac is None else f"{frac:.3f}"
+        lines.append(
+            f"  {rm_name}: fraction={frac_text} "
+            f"replayed={row['replayed']}/{row['rm_invocations']} "
+            f"callbacks(cold={row['cb_cold']} phase={row['cb_phase']} "
+            f"miss={row['cb_miss']} gate={row['cb_gate']} "
+            f"other={row['cb_other']}) "
+            f"runs={row['runs']} "
+            f"(no stats: {row['runs_without_stats']})"
+        )
+    return "\n".join(lines)
 
 
 def _run_batched(specs: Sequence[RunSpec], state: _ExecState) -> None:
@@ -812,6 +893,13 @@ class Campaign:
             retries=state.retries,
             pool_failures=state.pool_failures,
         )
+        if native_stats_enabled() and results:
+            print(
+                format_native_stats_table(
+                    aggregate_native_stats(results.values())
+                ),
+                file=sys.stderr,
+            )
         return ResultSet(results, stats)
 
 

@@ -110,6 +110,16 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     parser.add_argument(
+        "--native-stats",
+        action="store_true",
+        help=(
+            "aggregate the native loop's replay counters across the "
+            "campaign and print a per-RM replay-fraction table "
+            "(REPRO_NATIVE_STATS; observability only, excluded from "
+            "result fingerprints)"
+        ),
+    )
+    parser.add_argument(
         "--status",
         action="store_true",
         help=(
@@ -335,6 +345,10 @@ def main(argv: Sequence[str] | None = None) -> int:
         import os
 
         os.environ["REPRO_BATCH_RUNS"] = "1"
+    if args.native_stats:
+        import os
+
+        os.environ["REPRO_NATIVE_STATS"] = "1"
 
     cfg = ExperimentConfig(
         seed=args.seed,

@@ -48,7 +48,7 @@ differ.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Mapping, Optional
+from typing import Dict, List, Mapping, Optional, Sequence
 
 import numpy as np
 
@@ -233,8 +233,8 @@ class ResourceManager:
         #: engine replays decisions from may have moved: a curve/partition
         #: change, any rebind of ``_last_settings``, or a reset.  The
         #: native driver snapshots it around each Python-handled boundary
-        #: and re-derives its per-core replay flags when it moved (see
-        #: :meth:`native_replay_info`).
+        #: and re-bills (or drops) its standing replay tables when it moved
+        #: (see :meth:`native_table_rebill`).
         self.state_epoch = 0
 
     def _pinned_curves(self) -> List[EnergyCurve]:
@@ -545,27 +545,64 @@ class ResourceManager:
         self._keep_energy = total
         return total
 
-    def native_replay_info(
-        self, core_id: int, applied: Optional[Dict[int, Setting]]
+    @property
+    def native_gate_checked(self) -> bool:
+        """Whether native replays of this manager must evaluate the
+        hysteresis gate live (Σ keep-energies vs the root total) before
+        firing a table entry.  True for the optimising managers; the
+        Idle baseline never optimises, so its replays are gate-free."""
+        return True
+
+    def native_replay_table(
+        self,
+        core_id: int,
+        applied: Optional[Dict[int, Setting]],
+        inputs_for,
+        max_entries: int = 8,
+        phases: Sequence[int] = (0,),
     ) -> Optional[tuple]:
-        """Prove one core's next same-phase observe is replayable natively.
+        """Arm the multi-entry replay table of one core's decision cycle.
 
-        ``applied`` is the settings map the simulator currently has in
-        force.  Returns ``(local_evaluations, dp_operations)`` — the exact
-        accounting the next observe of ``core_id`` would charge — when
-        that observe is *provably* an identity decision: a memo replay of
-        the result object whose curve the reduction tree already holds,
-        landing on the hysteresis keep branch, handing back ``applied``
-        itself.  Returns None whenever any link of that proof chain is
-        missing; the native loop then takes the callback path, which is
-        always correct (just slower).
+        Walks the core's upcoming decision chain: starting from the
+        applied setting ``s0 = applied[core_id]``, step ``k`` probes the
+        local memo (side-effect-free) for the result the observe at
+        premise ``s_k`` would replay, proves the links
+        :meth:`_reoptimize` would follow — feasible curve, exact
+        leaf-domain match (the staged native windows depend on it), a
+        keep-branch gate that holds today — and derives the decided
+        setting ``post`` exactly as :meth:`_setting_for` would, which
+        becomes ``s_{k+1}``.  The chain continues until it revisits a
+        ``(setting, phase position)`` state (the orbit closed), a
+        premise breaks, or ``max_entries``.
 
-        Only memoizing, wave-accelerated, incremental-reduction managers
-        qualify: those are the invariants the identity-return branches of
-        :meth:`_reoptimize` are built on.  The queries below
-        (:meth:`_energy_at_partition`,
-        :meth:`~repro.core.global_opt.ReductionTree.evaluate`) are pure
-        memo reads — calling them here mutates no decision state.
+        ``inputs_for(setting, k)`` must build the :class:`ModelInputs`
+        the simulator would hand :meth:`observe` for this core's k-th
+        upcoming boundary at that applied setting; ``phases`` is the
+        caller's periodic phase schedule (step ``k`` completes an
+        interval of phase ``phases[k % len(phases)]``, and two steps
+        with the same setting and the same phase see identical inputs),
+        so a period-p setting oscillation riding an L-phase pattern
+        closes after at most ``lcm(p, L)`` steps.  Revisited
+        ``(setting, phase)`` pairs along the orbit replay a decision
+        already proved: they are followed for free — no memo probe, no
+        tree work, no entry — so the probe cost scales with the number
+        of *distinct* table rows, not the orbit length.
+
+        Returns ``(entries, dp_bill)`` — ``entries`` being
+        ``(premise, post, result, curve, energy_at_ways, evaluations,
+        phase)`` tuples and ``dp_bill`` the per-fire DP charge
+        (``path_operations(core_id) + eval_ops``, identical for every
+        entry because all armed curves span the same leaf domain) — or
+        None when nothing armed.  The arm-time gate check is a
+        plausibility filter only: the native engine re-evaluates the
+        gate live at every fire, so entries stay sound as other cores'
+        curves move underneath them.
+
+        The probe walk is pollution-free: memo probes never count or
+        reorder, the tree is restored to the original leaf curve (the
+        recombine is a pure function of the operands, so the restore is
+        bit-exact), and no decision state (``_cores``, ``_curves``,
+        ``_energy_at_current``, memos) is touched.
         """
         if applied is None or applied is not self._last_settings:
             return None
@@ -576,41 +613,98 @@ class ResourceManager:
         tree = self._tree
         if tree is None:
             return None
-        result = self._cores[core_id].result
-        if result is None or self._curves[core_id] is not result.curve:
+        orig_curve = tree.leaf_curve(core_id)
+        if self._curves[core_id] is not orig_curve:
             return None
-        keep_energy = self._energy_at_partition()
-        if keep_energy is None:
-            return None
+        qos = self.qos_for(core_id)
+        memo = self.local_memo
+        baseline = self._baseline
+        w = self._current_ways[core_id]
+        budget = self.system.total_ways
+        thr = self.switch_threshold
+        energies = self._energy_at_current
+        entries = []
+        seen = set()
+        decided: Dict[tuple, Setting] = {}
+        n_phases = len(phases)
+        s = applied[core_id]
+        eval_ops = 0
+        k = 0
         try:
-            total_energy, eval_ops, _ = tree.evaluate(self.system.total_ways)
-        except ValueError:
+            while len(entries) < max_entries:
+                state = (s, k % n_phases)
+                if state in seen:
+                    break
+                seen.add(state)
+                phase = phases[k % n_phases]
+                known = decided.get((s, phase))
+                if known is not None:
+                    # Same (setting, phase) as an already-proved step:
+                    # identical memo key, identical decision — follow
+                    # the orbit without re-paying the proof.
+                    s = known
+                    k += 1
+                    continue
+                result = memo.probe(
+                    local_memo_key(inputs_for(s, k), self.perf_model, qos)
+                )
+                if result is None:
+                    break
+                curve = result.curve
+                if not curve.has_feasible_point():
+                    break
+                if (
+                    curve.w_min != orig_curve.w_min
+                    or curve.energy.size != orig_curve.energy.size
+                    or not curve.energy.flags.c_contiguous
+                ):
+                    break
+                tree.update(core_id, curve)
+                try:
+                    total, eval_ops, _ = tree.evaluate(budget)
+                except ValueError:
+                    break
+                kc_b = self._curve_energy_at(curve, w)
+                keep = 0.0
+                for i, e in enumerate(energies):
+                    v = kc_b if i == core_id else e
+                    if v is None:
+                        keep = None
+                        break
+                    keep += v
+                if keep is None:
+                    break
+                if not (keep - total < thr * abs(keep)):
+                    break
+                if result.is_feasible(w):
+                    post = result.setting_for(w)
+                else:
+                    post = baseline.replace(ways=w)
+                entries.append(
+                    (s, post, result, curve, kc_b, result.evaluations, phase)
+                )
+                decided[(s, phase)] = post
+                s = post
+                k += 1
+        finally:
+            if self._curves[core_id] is not tree.leaf_curve(core_id):
+                tree.update(core_id, orig_curve)
+        if not entries:
             return None
-        if not (
-            keep_energy - total_energy < self.switch_threshold * abs(keep_energy)
-        ):
-            return None
-        return (result.evaluations, tree.path_operations(core_id) + eval_ops)
+        return (entries, int(tree.path_operations(core_id)) + int(eval_ops))
 
-    def native_replay_rebill(
+    def native_table_rebill(
         self, applied: Optional[Dict[int, Setting]]
     ) -> Optional[tuple]:
-        """Batch re-proof of standing replay entries after a state change.
+        """Re-bill standing replay-table entries after a state change.
 
-        Equivalent to re-running :meth:`native_replay_info` for every
-        flagged core, exploiting that only the core-independent links of
-        the proof chain can move underneath a *standing* flag: a core's
-        ``result``/curve binding changes only at that core's own observe,
-        where the simulator rewrites its flag anyway, so those per-core
-        premises still hold from flag time.  What must be re-checked is
-        the shared gate (mode invariants, the hysteresis keep branch) and
-        what must be re-billed is the DP charge (tree widths and the root
-        evaluation can shift with any leaf update).
-
-        Returns ``(eval_ops, path_ops)`` — the flagged cores' fresh bill
-        being ``path_ops[core] + eval_ops`` with their recorded
-        ``local_evaluations`` unchanged — or None when the gate fails and
-        every standing flag must drop.
+        Unlike the billing proof at arm time there is no hysteresis-gate
+        check here — table fires evaluate the gate live in the native
+        engine — only the entry-independent premises (mode invariants,
+        the applied-map binding, a solvable root) are re-proved and the
+        DP charge refreshed (tree widths and the root window can shift
+        with any leaf update).  Returns ``(eval_ops, path_ops)`` or None
+        when every standing table must drop.
         """
         if applied is None or applied is not self._last_settings:
             return None
@@ -621,18 +715,56 @@ class ResourceManager:
         tree = self._tree
         if tree is None:
             return None
-        keep_energy = self._energy_at_partition()
-        if keep_energy is None:
-            return None
         try:
-            total_energy, eval_ops, _ = tree.evaluate(self.system.total_ways)
+            _, eval_ops, _ = tree.evaluate(self.system.total_ways)
         except ValueError:
             return None
-        if not (
-            keep_energy - total_energy < self.switch_threshold * abs(keep_energy)
-        ):
-            return None
         return (eval_ops, tree.path_operations_all())
+
+    def native_current_total(self) -> Optional[float]:
+        """The current root-evaluation total (the native identity-replay
+        gate's standing comparand), or None when unavailable."""
+        tree = self._tree
+        if tree is None:
+            return None
+        try:
+            total, _, _ = tree.evaluate(self.system.total_ways)
+        except ValueError:
+            return None
+        return total
+
+    def native_replay_install(
+        self,
+        bindings: Dict[int, tuple],
+        settings_map: Dict[int, Setting],
+        energies: List[Optional[float]],
+    ) -> None:
+        """Fast-forward the manager past natively replayed rebind fires.
+
+        ``bindings`` maps each core whose last fire rebound its curve to
+        the fired entry's ``(result, curve)``; ``settings_map`` is the
+        applied settings map after the last native settings change and
+        ``energies`` the per-core current-allocation energies (None =
+        infeasible).  Equivalent, link for link, to the state the
+        Python path would have left after the same observes: the tree's
+        combined path values were already committed in place by the
+        native engine, so only the leaf object is rebound; the per-way
+        settings memo is cleared exactly as the rebind branch of
+        :meth:`_reoptimize` clears it (a pure cache — value-identical
+        either way); the keep-energy memo is marked dirty (the fresh
+        re-sum of the same floats is exact).
+        """
+        tree = self._tree
+        for core_id, (result, curve) in bindings.items():
+            self._cores[core_id].result = result
+            self._curves[core_id] = curve
+            if tree is not None:
+                tree.install_leaf(core_id, curve)
+            self._settings_memo[core_id].clear()
+        self._energy_at_current = list(energies)
+        self._keep_energy = False
+        self._last_settings = settings_map
+        self.state_epoch += 1
 
     def reset(self) -> None:
         baseline = self.system.baseline_setting()
@@ -696,15 +828,29 @@ class IdleRM(ResourceManager):
         """Idle never optimises: there is nothing to batch."""
         return 0
 
-    def native_replay_info(
-        self, core_id: int, applied: Optional[Dict[int, Setting]]
+    @property
+    def native_gate_checked(self) -> bool:
+        """Idle never optimises: its replays need no hysteresis gate."""
+        return False
+
+    def native_replay_table(
+        self,
+        core_id: int,
+        applied: Optional[Dict[int, Setting]],
+        inputs_for,
+        max_entries: int = 8,
+        phases: Sequence[int] = (0,),
     ) -> Optional[tuple]:
-        """Idle observes are always the identity map with a zero bill."""
+        """One identity entry per distinct phase with zero bills: the
+        Idle fixed point, input-independent at every step of the
+        schedule."""
         if applied is not None and applied is self._idle_settings:
-            return (0, 0)
+            s = applied[core_id]
+            distinct = list(dict.fromkeys(phases))[:max_entries]
+            return ([(s, s, None, None, None, 0, p) for p in distinct], 0)
         return None
 
-    def native_replay_rebill(
+    def native_table_rebill(
         self, applied: Optional[Dict[int, Setting]]
     ) -> Optional[tuple]:
         if applied is not None and applied is self._idle_settings:

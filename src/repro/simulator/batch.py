@@ -68,10 +68,30 @@ def run_many(
         driver = NativeRunDriver(
             sim, st, horizon, baseline, max_events, history
         )
-        prepared.append((sim, apps, st, horizon, history, driver))
+        prepared.append((sim, apps, h, st, horizon, history, driver))
         drivers.append(driver)
-    drive(drivers)
-    return [
-        sim._finish_run(apps, st, horizon, driver.totals(), history)
-        for sim, apps, st, horizon, history, driver in prepared
-    ]
+    # A failing run must not take the batch down with it: drive() parks
+    # each failure after flushing that driver's native-side violation
+    # and history buffers through the same drain the single-run loop
+    # uses, and keeps sweeping the healthy runs to completion.
+    drive(drivers, raise_on_failure=False)
+    results = []
+    for sim, apps, h, st, horizon, history, driver in prepared:
+        if driver.failure is not None:
+            # Serial demotion: the failed attempt left its manager
+            # mid-decision, so the run restarts from scratch under the
+            # single-run loop (bit-identical by the mode-invariance
+            # contract — ``_prepare_run`` resets the manager).  A
+            # deterministic failure re-raises here with the single-run
+            # loop's own repair/drain semantics.
+            results.append(
+                sim.run(apps, horizon_intervals=h, max_events=max_events)
+            )
+        else:
+            results.append(
+                sim._finish_run(
+                    apps, st, horizon, driver.totals(), history,
+                    native_stats=driver.native_stats(),
+                )
+            )
+    return results

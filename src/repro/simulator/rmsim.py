@@ -619,13 +619,17 @@ class MulticoreRMSimulator:
             pass length, the paper's "longest application" rule).
         """
         st, horizon, baseline, history = self._prepare_run(apps, horizon_intervals)
+        self._last_native_stats = None
         if self.wave == "scalar":
             totals = self._loop_scalar(st, horizon, baseline, max_events, history)
         elif self.wave == "native":
             totals = self._loop_native(st, horizon, baseline, max_events, history)
         else:
             totals = self._loop_wave(st, horizon, baseline, max_events, history)
-        return self._finish_run(apps, st, horizon, totals, history)
+        return self._finish_run(
+            apps, st, horizon, totals, history,
+            native_stats=self._last_native_stats,
+        )
 
     # ------------------------------------------------------------------
     def _prepare_run(
@@ -674,6 +678,7 @@ class MulticoreRMSimulator:
         horizon: float,
         totals: Tuple[float, int, int, List[float], int, float],
         history: Optional[List[SettingChange]],
+        native_stats: Optional[dict] = None,
     ) -> SimResult:
         """Assemble the :class:`SimResult` from a completed loop's totals."""
         (
@@ -699,6 +704,7 @@ class MulticoreRMSimulator:
             rm_invocations=rm_invocations,
             rm_instructions=rm_instructions,
             history=history,
+            native_stats=native_stats,
         )
 
     # ------------------------------------------------------------------
@@ -1051,6 +1057,7 @@ class MulticoreRMSimulator:
 
         driver = NativeRunDriver(self, st, horizon, baseline, max_events, history)
         drive([driver])
+        self._last_native_stats = driver.native_stats()
         return driver.totals()
 
     # ------------------------------------------------------------------

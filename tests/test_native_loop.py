@@ -195,6 +195,259 @@ class TestRunMany:
 
 
 # ---------------------------------------------------------------------------
+# periodic replay: multi-entry cycles, forced premise breaks
+# ---------------------------------------------------------------------------
+#: Workload mixes that settle into short decision cycles: the mixed set
+#: arms full phase orbits (6-entry tables over mini_csps's 6-interval
+#: pattern), the phase-heavy set adds period-2 tables, and the uniform
+#: set degenerates to fixed points (single-entry tables, no rebinds).
+OSC_MIXES = {
+    "mixed": APPS4,
+    "phase_heavy": ["mini_csps", "mini_csps", "mini_cips", "mini_csps"],
+}
+
+OSC_KINDS = [("rm1", "Model1"), ("rm2", "Model1"), ("rm3", "Model3")]
+
+
+class TestOscillationMatrix:
+    """Periodic decisions must replay natively — and bit-identically.
+
+    Result equality covers violations, energies, the settings history
+    and the charged ``local_evaluations``/``dp_operations`` bills
+    (``rm_instructions``); the stats assertions prove the run actually
+    exercised multi-entry replay rather than falling back to callbacks.
+    """
+
+    @pytest.mark.parametrize("mix", sorted(OSC_MIXES))
+    @pytest.mark.parametrize("kind,model", OSC_KINDS)
+    def test_cycles_bit_identical_and_replayed(self, mini_db4, kind, model, mix):
+        apps = OSC_MIXES[mix]
+        native = _run(mini_db4, kind, model, "native", apps, horizon=24)
+        scalar = _run(mini_db4, kind, model, "scalar", apps, horizon=24)
+        assert native == scalar, f"{kind}/{model}/{mix}"
+        if _native_opt.available():
+            stats = native.native_stats
+            assert stats["rebind_replays"] > 0, f"{kind}/{model}/{mix}"
+            assert stats["callbacks"]["phase"] == 0  # online models replay crossings
+
+    def test_multi_entry_tables_arm(self, mini_db4):
+        """The arm walk closes true cycles, folded to distinct rows: a
+        6-interval phase orbit arms one entry per distinct
+        (setting, phase) pair — multi-entry tables alongside plain
+        fixed points — and never more rows than the phase alphabet and
+        setting cycle can produce."""
+        if not _native_opt.available():
+            pytest.skip("no compiled engine")
+        from repro.core.managers import ResourceManager
+
+        lens = []
+        orig = ResourceManager.native_replay_table
+
+        def spy(self, core_id, applied, inputs_for, max_entries=8, phases=(0,)):
+            out = orig(
+                self, core_id, applied, inputs_for,
+                max_entries=max_entries, phases=phases,
+            )
+            if out is not None and out[0]:
+                lens.append((len(out[0]), len(set(phases))))
+            return out
+
+        ResourceManager.native_replay_table = spy
+        try:
+            _run(
+                mini_db4, "rm1", "Model1", "native",
+                OSC_MIXES["phase_heavy"], horizon=24,
+            )
+        finally:
+            ResourceManager.native_replay_table = orig
+        assert any(n == 1 for n, _ in lens)
+        assert any(n == 2 for n, _ in lens)
+        # The dedup fold: a steady setting on the 6-slot mini_csps
+        # pattern arms exactly its 2 distinct phases, never 6 rows.
+        assert all(n <= 2 * alphabet for n, alphabet in lens)
+
+    def test_capacity_one_memo_eviction_mid_cycle(self, mini_db4):
+        """A capacity-1 memo evicts cycle entries between observes: the
+        broken premise must surface as table misses, conservatively
+        repaired, with results still bit-identical."""
+        kw = dict(horizon=24, local_memo_capacity=1)
+        native = _run(mini_db4, "rm3", "Model3", "native", APPS4, **kw)
+        scalar = _run(mini_db4, "rm3", "Model3", "scalar", APPS4, **kw)
+        assert native == scalar
+        if _native_opt.available():
+            assert native.native_stats["callbacks"]["miss"] > 0
+
+    def test_phase_sensitivity_routes_crossings(self, mini_db4):
+        """Oracle models read the entering record, so their crossings
+        must take the callback path; online models replay through."""
+        if not _native_opt.available():
+            pytest.skip("no compiled engine")
+        oracle = _run(mini_db4, "rm3", "Perfect", "native", APPS4, horizon=24)
+        assert oracle.native_stats["callbacks"]["phase"] > 0
+        assert oracle == _run(
+            mini_db4, "rm3", "Perfect", "scalar", APPS4, horizon=24
+        )
+
+
+# ---------------------------------------------------------------------------
+# batch failure isolation: a failing run must not take the batch down
+# ---------------------------------------------------------------------------
+class TestBatchFailureIsolation:
+    @staticmethod
+    def _inject(rm, fail_at, once=True):
+        """Make ``rm.observe`` raise on its ``fail_at``-th call."""
+        orig = rm.observe
+        calls = [0]
+
+        def observe(core_id, inputs):
+            calls[0] += 1
+            hit = calls[0] == fail_at if once else calls[0] >= fail_at
+            if hit:
+                raise RuntimeError("injected mid-run failure")
+            return orig(core_id, inputs)
+
+        rm.observe = observe
+
+    def test_drive_flushes_failing_buffers(self, mini_db4):
+        """drive() parks the failure after draining the failing run's
+        native-side violation buffer (an exact event-order prefix of
+        the oracle's list) and sweeps the healthy runs to completion."""
+        if not _native_opt.available():
+            pytest.skip("no compiled engine")
+        from repro.simulator.native_loop import NativeRunDriver, drive
+
+        scalar = _run(mini_db4, "rm3", "Model3", "scalar", APPS4, horizon=12)
+        healthy_solo = _run(
+            mini_db4, "rm1", "Model1", "native", APPS4[::-1], horizon=12
+        )
+
+        sims = [
+            _make(mini_db4, "rm3", "Model3", "native"),
+            _make(mini_db4, "rm1", "Model1", "native"),
+        ]
+        prepared = []
+        drivers = []
+        for sim, apps in zip(sims, [APPS4, APPS4[::-1]]):
+            st, horizon, baseline, history = sim._prepare_run(apps, 12)
+            driver = NativeRunDriver(
+                sim, st, horizon, baseline, 1_000_000, history
+            )
+            prepared.append((sim, apps, st, horizon, history, driver))
+            drivers.append(driver)
+        self._inject(sims[0].rm, 5)
+        drive(drivers, raise_on_failure=False)
+
+        assert isinstance(drivers[0].failure, RuntimeError)
+        assert drivers[1].failure is None
+        sim, apps, st, horizon, history, driver = prepared[1]
+        got = sim._finish_run(apps, st, horizon, driver.totals(), history)
+        assert got == healthy_solo
+        partial = drivers[0].violations
+        assert partial == scalar.violations[: len(partial)]
+
+    def test_run_many_demotes_transient_failure(self, mini_db4):
+        """A once-only failure costs the affected run a serial re-run,
+        nothing else: every result still matches its solo run."""
+        if not _native_opt.available():
+            pytest.skip("no compiled engine")
+        want = [
+            _run(mini_db4, "rm3", "Model3", "native", APPS4, horizon=12),
+            _run(mini_db4, "rm1", "Model1", "native", APPS4[::-1], horizon=12),
+        ]
+        sims = [
+            _make(mini_db4, "rm3", "Model3", "native"),
+            _make(mini_db4, "rm1", "Model1", "native"),
+        ]
+        self._inject(sims[0].rm, 5, once=True)
+        got = run_many(
+            [(sims[0], APPS4, 12), (sims[1], APPS4[::-1], 12)]
+        )
+        assert got == want
+
+    def test_run_many_deterministic_failure_raises(self, mini_db4):
+        """A failure that recurs on the serial re-run propagates with
+        the single-run loop's own semantics."""
+        if not _native_opt.available():
+            pytest.skip("no compiled engine")
+        sims = [
+            _make(mini_db4, "rm3", "Model3", "native"),
+            _make(mini_db4, "rm1", "Model1", "native"),
+        ]
+        self._inject(sims[0].rm, 5, once=False)
+        with pytest.raises(RuntimeError, match="injected"):
+            run_many([(sims[0], APPS4, 12), (sims[1], APPS4[::-1], 12)])
+
+
+# ---------------------------------------------------------------------------
+# replay observability: per-run stats, campaign aggregation
+# ---------------------------------------------------------------------------
+class TestNativeStats:
+    def test_present_on_native_null_elsewhere(self, mini_db4, monkeypatch):
+        native = _run(mini_db4, "rm3", "Model3", "native", APPS4)
+        step = _run(mini_db4, "rm3", "Model3", "step", APPS4)
+        assert step.native_stats is None
+        if _native_opt.available():
+            stats = native.native_stats
+            assert 0.0 <= stats["native_replay_fraction"] <= 1.0
+            assert (
+                stats["replayed"]
+                + sum(stats["callbacks"].values())
+                == stats["rm_invocations"]
+            )
+        # Observability never enters result equality.
+        assert native == step
+        # The forced no-compiler fallback keeps the field present-but-null.
+        monkeypatch.setattr(_native_opt, "_lib", None)
+        monkeypatch.setattr(_native_opt, "_lib_failed", True)
+        fallback = _run(mini_db4, "rm3", "Model3", "native", APPS4)
+        assert fallback.native_stats is None
+        assert fallback == step
+
+    def test_store_roundtrip_drops_stats(self, mini_db4):
+        """The on-disk result store persists results, not observability:
+        a cache hit is bit-identical with ``native_stats`` null."""
+        from repro.campaign.results import result_from_json, result_to_json
+
+        native = _run(mini_db4, "rm3", "Model3", "native", APPS4)
+        back = result_from_json(result_to_json(native))
+        assert back.native_stats is None
+        assert back == native
+
+    def test_campaign_aggregation(self, mini_db4, monkeypatch):
+        from repro.campaign.executor import (
+            aggregate_native_stats,
+            format_native_stats_table,
+            native_stats_enabled,
+        )
+
+        r_rm3 = _run(mini_db4, "rm3", "Model3", "native", APPS4)
+        r_rm1 = _run(mini_db4, "rm1", "Model1", "native", APPS4)
+        r_cached = _run(mini_db4, "rm1", "Model1", "scalar", APPS4)
+        agg = aggregate_native_stats([r_rm3, r_rm1, r_cached])
+        row = agg[r_rm1.rm_name]
+        assert row["runs"] == 2
+        # Without a compiler the native runs degrade to the wave loop
+        # and report no counters either.
+        assert row["runs_without_stats"] == (
+            1 if _native_opt.available() else 2
+        )
+        if _native_opt.available():
+            assert (
+                agg[r_rm3.rm_name]["native_replay_fraction"]
+                == r_rm3.native_stats["native_replay_fraction"]
+            )
+        table = format_native_stats_table(agg)
+        assert r_rm3.rm_name in table and "fraction=" in table
+
+        monkeypatch.delenv("REPRO_NATIVE_STATS", raising=False)
+        assert not native_stats_enabled()
+        monkeypatch.setenv("REPRO_NATIVE_STATS", "1")
+        assert native_stats_enabled()
+        monkeypatch.setenv("REPRO_NATIVE_STATS", "0")
+        assert not native_stats_enabled()
+
+
+# ---------------------------------------------------------------------------
 # campaign plumbing: spec validation, fingerprints, batching, resume
 # ---------------------------------------------------------------------------
 class TestCampaignNative:

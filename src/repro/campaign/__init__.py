@@ -28,6 +28,14 @@ Execution is fault-tolerant (per-spec timeouts, deterministic retries,
 quarantine) while staying bit-identical to the fault-free serial run for
 any failure pattern — see :mod:`repro.campaign.executor` and
 :mod:`repro.util.faults`.
+
+Campaigns also scale past one machine: ``REPRO_REMOTE`` (or ``--remote``)
+dispatches pending fingerprints through a lease-based distributed fabric
+(:mod:`repro.campaign.remote`) whose workers claim, heartbeat and publish
+over a shared store behind a pluggable transport
+(:mod:`repro.campaign.transport` — shared filesystem or SSH), with the
+same bit-identical convergence guarantee under worker crashes,
+partitions, duplicate deliveries and torn lease writes.
 """
 
 from repro.campaign.database import clear_database_cache, get_database
@@ -40,7 +48,20 @@ from repro.campaign.executor import (
     resolve_campaign_workers,
     run_campaign,
 )
-from repro.campaign.journal import CampaignJournal, journal_status
+from repro.campaign.journal import (
+    CampaignJournal,
+    journal_status,
+    protected_fingerprints,
+    worker_attribution,
+)
+from repro.campaign.remote import (
+    Fabric,
+    fabric_status,
+    remote_enabled,
+    run_remote,
+    run_worker,
+    spawn_local_workers,
+)
 from repro.campaign.results import (
     cache_stats,
     clear_result_memo,
@@ -51,25 +72,43 @@ from repro.campaign.results import (
     result_to_json,
 )
 from repro.campaign.spec import RunSpec
+from repro.campaign.transport import (
+    FileTransport,
+    SSHTransport,
+    Transport,
+    transport_for,
+)
 
 __all__ = [
     "Campaign",
     "CampaignExecutionError",
     "CampaignJournal",
+    "Fabric",
+    "FileTransport",
     "ResultSet",
     "RunSpec",
+    "SSHTransport",
     "SpecTimeout",
+    "Transport",
     "cache_stats",
     "clear_database_cache",
     "clear_result_memo",
     "execute_spec",
+    "fabric_status",
     "get_database",
     "journal_status",
+    "protected_fingerprints",
     "prune_result_cache",
     "quarantine_stats",
+    "remote_enabled",
     "resolve_campaign_workers",
     "result_cache_dir",
     "result_from_json",
     "result_to_json",
     "run_campaign",
+    "run_remote",
+    "run_worker",
+    "spawn_local_workers",
+    "transport_for",
+    "worker_attribution",
 ]

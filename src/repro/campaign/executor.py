@@ -335,6 +335,7 @@ class CampaignStats:
         workers: int,
         retries: int = 0,
         pool_failures: int = 0,
+        lease_expiries: int = 0,
     ):
         self.planned = planned
         self.unique = unique
@@ -343,6 +344,7 @@ class CampaignStats:
         self.workers = workers
         self.retries = retries
         self.pool_failures = pool_failures
+        self.lease_expiries = lease_expiries
 
     def summary(self) -> str:
         text = (
@@ -350,11 +352,14 @@ class CampaignStats:
             f"({self.simulated} simulated, {self.cached} cached) "
             f"on {self.workers} worker{'s' if self.workers != 1 else ''}"
         )
-        if self.retries or self.pool_failures:
-            text += (
-                f" [{self.retries} retries, "
-                f"{self.pool_failures} pool failures]"
-            )
+        if self.retries or self.pool_failures or self.lease_expiries:
+            tallies = [
+                f"{self.retries} retries",
+                f"{self.pool_failures} pool failures",
+            ]
+            if self.lease_expiries:
+                tallies.append(f"{self.lease_expiries} lease expiries")
+            text += f" [{', '.join(tallies)}]"
         return text
 
 
@@ -370,10 +375,14 @@ class _ExecState:
         self.pool_failures = 0
         self.durations: List[float] = []
 
-    def record_done(self, fp: str, seconds: float) -> None:
+    def record_done(
+        self, fp: str, seconds: float, worker: Optional[str] = None
+    ) -> None:
         self.durations.append(seconds)
         if self.journal is not None:
-            self.journal.done(fp, self.attempts.get(fp, 0) + 1, seconds)
+            self.journal.done(
+                fp, self.attempts.get(fp, 0) + 1, seconds, worker=worker
+            )
 
     def record_failure(self, fp: str, exc: Exception, retries: int) -> bool:
         """Count one failed attempt; True when a retry is still allowed."""
@@ -782,6 +791,8 @@ class Campaign:
         # Resolve every env knob up-front: a malformed
         # REPRO_RESULT_CACHE_MAX_MB / REPRO_SPEC_TIMEOUT / ... must fail
         # before hours of simulation, not mid-campaign.
+        from repro.campaign import remote
+
         cache_cap_mb = result_cache_max_mb()
         memo_cap_mb = local_memo_max_mb()
         for knob in (
@@ -792,6 +803,20 @@ class Campaign:
             straggler_factor,
         ):
             knob()
+        distributed = remote.remote_enabled()
+        if distributed:
+            if result_cache_dir() is None:
+                raise ValueError(
+                    f"{remote.REMOTE_ENV} requires a shared result store "
+                    "(set REPRO_RESULT_CACHE)"
+                )
+            for knob in (
+                remote.lease_ttl,
+                remote.lease_batch,
+                remote.remote_tick,
+                remote.remote_grace,
+            ):
+                knob()
         specs = self.unique_specs
         results: Dict[str, SimResult] = {}
         pending: List[RunSpec] = []
@@ -803,6 +828,10 @@ class Campaign:
                 pending.append(spec)
 
         workers = resolve_campaign_workers(n_workers, len(pending))
+        if distributed:
+            # In remote mode "workers" means fabric workers to spawn
+            # (0 = external workers registered via `campaign --work`).
+            workers = remote.remote_workers(workers)
         # Sorted (seed, n_cores) order keeps each worker's database
         # loads/rebinds few and makes the dispatch order — and with it
         # any ``spec=N`` fault-plan ordinal — deterministic.
@@ -827,7 +856,9 @@ class Campaign:
             )
         faults.prepare_for_campaign([s.fingerprint for s in ordered])
         try:
-            if workers > 1 and len(pending) > 1:
+            if distributed and pending:
+                remote.run_remote(ordered, state, workers)
+            elif workers > 1 and len(pending) > 1:
                 # Warm every needed database in the parent first: each
                 # build happens once (and lands in the on-disk cache)
                 # instead of once per worker, and forked workers inherit
@@ -892,6 +923,7 @@ class Campaign:
             workers=workers,
             retries=state.retries,
             pool_failures=state.pool_failures,
+            lease_expiries=getattr(state, "lease_expiries", 0),
         )
         if native_stats_enabled() and results:
             print(

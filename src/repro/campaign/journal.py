@@ -19,7 +19,16 @@ Events (each line also carries a ``t`` wall-clock timestamp):
     A run (first or resumed) started: planned/unique/cached/pending
     counts and the worker count.
 ``done``
-    One spec simulated and stored (fingerprint, attempt number, seconds).
+    One spec simulated and stored (fingerprint, attempt number, seconds;
+    distributed runs add the executing worker's id).
+``remote_begin``
+    A distributed run started: transport kind and expected worker count.
+``claim``
+    A fabric worker leased a batch of fingerprints.
+``lease_expired``
+    The coordinator broke a stale lease and requeued its fingerprints.
+``fallback``
+    The coordinator degraded to executing specs itself (no live workers).
 ``failed``
     One attempt failed (fingerprint, attempt number, error text).
 ``pool_failure``
@@ -47,8 +56,10 @@ __all__ = [
     "campaign_id",
     "journal_dir",
     "journal_status",
+    "protected_fingerprints",
     "read_journal",
     "summarize_events",
+    "worker_attribution",
 ]
 
 
@@ -99,10 +110,17 @@ class CampaignJournal:
             workers=workers,
         )
 
-    def done(self, fingerprint: str, attempt: int, seconds: float) -> None:
-        self._append(
-            "done", fp=fingerprint, attempt=attempt, s=round(seconds, 6)
-        )
+    def done(
+        self,
+        fingerprint: str,
+        attempt: int,
+        seconds: float,
+        worker: Optional[str] = None,
+    ) -> None:
+        fields = {"fp": fingerprint, "attempt": attempt, "s": round(seconds, 6)}
+        if worker is not None:
+            fields["worker"] = worker
+        self._append("done", **fields)
 
     def failed(self, fingerprint: str, attempt: int, error: str) -> None:
         self._append(
@@ -116,6 +134,20 @@ class CampaignJournal:
 
     def interrupted(self, done: int, remaining: int) -> None:
         self._append("interrupted", done=done, remaining=remaining)
+
+    def remote_begin(self, transport: str, workers: int, pending: int) -> None:
+        self._append(
+            "remote_begin", transport=transport, workers=workers, pending=pending
+        )
+
+    def claim(self, worker: str, count: int) -> None:
+        self._append("claim", worker=worker, count=count)
+
+    def lease_expired(self, worker: str, fingerprint: str) -> None:
+        self._append("lease_expired", worker=worker, fp=fingerprint)
+
+    def fallback(self, reason: str, count: int) -> None:
+        self._append("fallback", reason=reason, count=count)
 
     def complete(self, done: int, failed: int) -> None:
         self._append("complete", done=done, failed=failed)
@@ -171,8 +203,10 @@ def summarize_events(events: List[Dict]) -> Optional[Dict]:
     )
     unique = begin.get("unique", 0)
     done_total = begin.get("cached", 0) + len(done_after)
+    remote = any(ev["event"] == "remote_begin" for ev in events)
     return {
         "runs": sum(1 for ev in events if ev["event"] == "begin"),
+        "remote": remote,
         "unique": unique,
         "cached": begin.get("cached", 0),
         "done": done_total,
@@ -185,6 +219,69 @@ def summarize_events(events: List[Dict]) -> Optional[Dict]:
         "permanent_failures": complete.get("failed", 0) if complete else 0,
         "updated": max(ev.get("t", 0.0) for ev in events),
     }
+
+
+def worker_attribution(events: List[Dict]) -> Dict[str, Dict]:
+    """Per-worker execution accounting across a journal's whole history.
+
+    Completed fingerprints are counted as a *set* per worker — duplicate
+    ``done`` deliveries (the ``dupdone`` fault, or a re-executed expired
+    lease landing twice) must not inflate a worker's tally.  ``done``
+    events without a worker id (local pool/serial execution) are
+    attributed to ``"local"``.
+    """
+    workers: Dict[str, Dict] = {}
+
+    def slot(name: str) -> Dict:
+        return workers.setdefault(
+            name,
+            {"done": set(), "claims": 0, "lease_expired": 0, "last_t": 0.0},
+        )
+
+    for ev in events:
+        kind = ev["event"]
+        if kind == "done":
+            w = slot(ev.get("worker") or "local")
+            w["done"].add(ev["fp"])
+        elif kind == "claim":
+            w = slot(ev["worker"])
+            w["claims"] += 1
+        elif kind == "lease_expired":
+            w = slot(ev["worker"])
+            w["lease_expired"] += 1
+        else:
+            continue
+        w["last_t"] = max(w["last_t"], ev.get("t", 0.0))
+    return {
+        name: {**w, "done": len(w["done"])} for name, w in workers.items()
+    }
+
+
+def protected_fingerprints(store_root: Optional[Path]) -> frozenset:
+    """Fingerprints an *in-flight* campaign journal still depends on.
+
+    A journal that has no ``complete`` event for its latest run is a
+    resumable campaign: every fingerprint it has recorded as ``done`` is
+    checkpointed progress living in the result store, and LRU pruning
+    must not evict it (doing so would silently convert the checkpoint
+    back into pending simulation on resume).  Completed campaigns
+    release their entries to normal LRU policy.
+    """
+    if store_root is None:
+        return frozenset()
+    jdir = journal_dir(Path(store_root))
+    if not jdir.is_dir():
+        return frozenset()
+    protected = set()
+    for path in jdir.glob("*.jsonl"):
+        events = read_journal(path)
+        summary = summarize_events(events)
+        if summary is None or summary["complete"]:
+            continue
+        protected.update(
+            ev["fp"] for ev in events if ev["event"] == "done"
+        )
+    return frozenset(protected)
 
 
 def journal_status(store_root: Optional[Path]) -> List[Dict]:

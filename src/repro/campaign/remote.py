@@ -1,0 +1,811 @@
+"""Distributed campaign fabric: lease-based execution over a shared store.
+
+The remote tier shards a campaign's pending (uncached) fingerprints
+across worker processes/hosts with *no scheduler state of its own* —
+everything lives as small files in the shared result store, under
+``<store>/fabric/``:
+
+``fabric/campaign.json``
+    Coordinator-published meta (campaign id, pending count).
+``fabric/tasks/<fp>.json``
+    One serialised :class:`~repro.campaign.spec.RunSpec` per pending
+    fingerprint (workers re-derive the fingerprint from their own code —
+    version skew surfaces as a refusal, not a mis-filed result).
+``fabric/leases/<fp>.json``
+    Exclusive-create claim: two workers racing resolve through
+    ``O_EXCL`` / ``set -C``; exactly one wins.
+``fabric/workers/<id>.json``
+    Per-worker heartbeat, atomically rewritten every ``ttl/4``.
+``fabric/done/<fp>.json`` / ``fabric/failed/<fp>.<attempt>.json``
+    Completion / failed-attempt markers the coordinator harvests.
+
+A lease is *live* while its worker's heartbeat is fresher than
+``REPRO_LEASE_TTL``; the coordinator breaks stale leases and the
+fingerprints become claimable again.  Reassignment — and any duplicate
+execution it causes (a partitioned worker keeps running) — is always
+safe: specs are deterministic and results content-addressed, so every
+copy of an execution publishes the identical bytes and the merge is a
+no-op.  That single invariant, inherited from the PR 6 executor, is what
+lets the whole transport be this simple.
+
+Results flow through the existing crash-safe store path: file-transport
+workers point ``REPRO_RESULT_CACHE`` at the shared store so
+``execute_spec`` publishes directly; SSH workers simulate locally and
+push the result JSON through the transport's atomic publish.  The
+completion marker is written only *after* the result, so a marker always
+implies a readable result (a torn marker or evicted entry is detected at
+harvest and the fingerprint is simply reassigned).
+
+The coordinator journals every observed claim, expiry, completion and
+fallback in the PR 6 campaign journal (single writer — workers never
+touch it), which is what makes ``repro campaign --remote`` kill-and-
+resume safe on both sides: a resumed coordinator re-probes the store,
+re-publishes missing tasks and harvests markers workers published while
+it was dead; a killed worker just loses its lease.
+
+With no live workers (none spawned, all dead, or all partitioned) the
+coordinator degrades gracefully: after ``REPRO_REMOTE_GRACE`` without
+progress it claims fingerprints itself — under the same lease protocol —
+and executes them inline, so ``--remote`` can never do worse than hang.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+import threading
+import time
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, TYPE_CHECKING
+
+from repro.campaign.results import (
+    CACHE_ENV,
+    cached_result,
+    result_cache_dir,
+    result_to_json,
+)
+from repro.campaign.spec import RunSpec
+from repro.campaign.transport import FileTransport, Transport, transport_for
+from repro.util import faults
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.campaign.executor import _ExecState
+
+__all__ = [
+    "COORDINATOR_ID",
+    "Fabric",
+    "LEASE_BATCH_ENV",
+    "LEASE_TTL_ENV",
+    "REMOTE_ENV",
+    "REMOTE_GRACE_ENV",
+    "REMOTE_TICK_ENV",
+    "REMOTE_WORKERS_ENV",
+    "WORKER_ID_ENV",
+    "fabric_status",
+    "lease_batch",
+    "lease_ttl",
+    "remote_enabled",
+    "remote_grace",
+    "remote_tick",
+    "remote_workers",
+    "run_remote",
+    "run_worker",
+    "spawn_local_workers",
+]
+
+#: Truthy = ``Campaign.run`` dispatches to the distributed fabric.
+REMOTE_ENV = "REPRO_REMOTE"
+
+#: Local worker processes the coordinator spawns (0 = rely on external
+#: workers started via ``repro campaign --work``).
+REMOTE_WORKERS_ENV = "REPRO_REMOTE_WORKERS"
+
+#: Lease liveness horizon in seconds (default 30): a lease whose worker
+#: heartbeat is older than this is broken and its work reassigned.
+LEASE_TTL_ENV = "REPRO_LEASE_TTL"
+
+#: Fingerprints a worker claims per round (default 4).
+LEASE_BATCH_ENV = "REPRO_LEASE_BATCH"
+
+#: Seconds without progress before the coordinator degrades to
+#: executing unclaimed specs itself (default 5).
+REMOTE_GRACE_ENV = "REPRO_REMOTE_GRACE"
+
+#: Coordinator/worker polling tick in seconds (default 0.2).
+REMOTE_TICK_ENV = "REPRO_REMOTE_TICK"
+
+#: Worker id override (default ``w<pid>``); the coordinator sets it for
+#: the workers it spawns.
+WORKER_ID_ENV = "REPRO_WORKER_ID"
+
+#: Worker id the coordinator claims under when degrading to local
+#: execution.
+COORDINATOR_ID = "coordinator"
+
+
+def _env_float(name: str, default: float) -> float:
+    raw = os.environ.get(name)
+    if not raw:
+        return default
+    try:
+        return float(raw)
+    except ValueError:
+        raise ValueError(f"{name} must be a number, got {raw!r}") from None
+
+
+def _env_int(name: str, default: int) -> int:
+    raw = os.environ.get(name)
+    if not raw:
+        return default
+    try:
+        return int(raw)
+    except ValueError:
+        raise ValueError(f"{name} must be an integer, got {raw!r}") from None
+
+
+def remote_enabled() -> bool:
+    """Whether :data:`REMOTE_ENV` opts this campaign into the fabric."""
+    raw = os.environ.get(REMOTE_ENV, "").strip().lower()
+    return raw not in ("", "0", "false", "no")
+
+
+def lease_ttl() -> float:
+    return max(0.1, _env_float(LEASE_TTL_ENV, 30.0))
+
+
+def lease_batch() -> int:
+    return max(1, _env_int(LEASE_BATCH_ENV, 4))
+
+
+def remote_tick() -> float:
+    return max(0.01, _env_float(REMOTE_TICK_ENV, 0.2))
+
+
+def remote_grace() -> float:
+    return max(0.0, _env_float(REMOTE_GRACE_ENV, 5.0))
+
+
+def remote_workers(default: int) -> int:
+    return max(0, _env_int(REMOTE_WORKERS_ENV, default))
+
+
+class Fabric:
+    """The lease protocol, expressed over a transport's six primitives.
+
+    Coordinator and workers share this one class (and with it one
+    protocol); only the transport underneath differs.  Fault hooks fire
+    on lease and done-marker writes when the transport has a local twin
+    (``store=lease`` / ``store=done`` directives tear exactly the write
+    that just happened).
+    """
+
+    META = "fabric/campaign.json"
+
+    def __init__(self, transport: Transport):
+        self.transport = transport
+
+    # -- relative paths ----------------------------------------------------
+    @staticmethod
+    def task_path(fp: str) -> str:
+        return f"fabric/tasks/{fp}.json"
+
+    @staticmethod
+    def lease_path(fp: str) -> str:
+        return f"fabric/leases/{fp}.json"
+
+    @staticmethod
+    def done_path(fp: str) -> str:
+        return f"fabric/done/{fp}.json"
+
+    @staticmethod
+    def failed_path(fp: str, attempt: int) -> str:
+        return f"fabric/failed/{fp}.{attempt}.json"
+
+    @staticmethod
+    def worker_path(worker: str) -> str:
+        return f"fabric/workers/{worker}.json"
+
+    def _store_hook(self, store: str, name: str, rel: str) -> None:
+        path = self.transport.local_path(rel)
+        if path is not None:
+            faults.on_store_write(store, name, path)
+
+    # -- campaign meta -----------------------------------------------------
+    def write_meta(self, campaign: str, pending: int) -> None:
+        self.transport.put(
+            self.META,
+            json.dumps({"campaign": campaign, "pending": pending}),
+        )
+
+    def read_meta(self) -> Optional[Dict]:
+        text = self.transport.get(self.META)
+        if text is None:
+            return None
+        try:
+            return json.loads(text)
+        except json.JSONDecodeError:
+            return None
+
+    # -- tasks -------------------------------------------------------------
+    def publish_task(self, spec: RunSpec) -> None:
+        """Idempotent: an existing task file (resume) is left as is."""
+        self.transport.put_new(self.task_path(spec.fingerprint), spec.to_json())
+
+    def tasks(self) -> List[str]:
+        return [
+            name[:-5]
+            for name in self.transport.listdir("fabric/tasks")
+            if name.endswith(".json")
+        ]
+
+    def read_task(self, fp: str) -> Optional[str]:
+        return self.transport.get(self.task_path(fp))
+
+    # -- leases ------------------------------------------------------------
+    def claim(self, fp: str, worker: str) -> bool:
+        """Exclusive-create the lease; exactly one claimant wins."""
+        won = self.transport.put_new(
+            self.lease_path(fp),
+            json.dumps({"worker": worker, "t": time.time()}),
+        )
+        if won:
+            self._store_hook("lease", fp, self.lease_path(fp))
+        return won
+
+    def leased(self) -> List[str]:
+        return [
+            name[:-5]
+            for name in self.transport.listdir("fabric/leases")
+            if name.endswith(".json")
+        ]
+
+    def lease_worker(self, fp: str) -> Optional[str]:
+        """The lease's claimant, or None when missing/torn."""
+        text = self.transport.get(self.lease_path(fp))
+        if text is None:
+            return None
+        try:
+            worker = json.loads(text).get("worker")
+        except (json.JSONDecodeError, AttributeError):
+            return None
+        return worker if isinstance(worker, str) else None
+
+    def lease_age(self, fp: str) -> Optional[float]:
+        return self.transport.age(self.lease_path(fp))
+
+    def lease_owned(self, fp: str, worker: str) -> bool:
+        return self.lease_worker(fp) == worker
+
+    def break_lease(self, fp: str) -> bool:
+        return self.transport.delete(self.lease_path(fp))
+
+    release = break_lease  # a worker releasing its own lease is the same op
+
+    # -- heartbeats --------------------------------------------------------
+    def heartbeat(self, worker: str) -> None:
+        if faults.on_heartbeat(worker):
+            return  # injected partition: the write never lands
+        self.transport.put(
+            self.worker_path(worker),
+            json.dumps({"worker": worker, "t": time.time()}),
+        )
+
+    def heartbeat_age(self, worker: str) -> Optional[float]:
+        return self.transport.age(self.worker_path(worker))
+
+    def workers(self) -> List[str]:
+        return [
+            name[:-5]
+            for name in self.transport.listdir("fabric/workers")
+            if name.endswith(".json")
+        ]
+
+    # -- completion / failure markers --------------------------------------
+    def publish_done(self, fp: str, worker: str, seconds: float) -> None:
+        """Written strictly *after* the result, so marker ⇒ result."""
+        payload = json.dumps(
+            {"worker": worker, "s": round(seconds, 6), "t": time.time()}
+        )
+        self.transport.put(self.done_path(fp), payload)
+        self._store_hook("done", fp, self.done_path(fp))
+        if faults.on_done_publish(fp):
+            # Injected duplicate delivery: the completion lands again
+            # (ack lost, sender retried).  Harvest must treat it as the
+            # idempotent no-op it is.
+            self.transport.put(self.done_path(fp), payload)
+
+    def done_fps(self) -> List[str]:
+        return [
+            name[:-5]
+            for name in self.transport.listdir("fabric/done")
+            if name.endswith(".json")
+        ]
+
+    def read_done(self, fp: str) -> Optional[Dict]:
+        text = self.transport.get(self.done_path(fp))
+        if text is None:
+            return None
+        try:
+            data = json.loads(text)
+        except json.JSONDecodeError:
+            return None
+        return data if isinstance(data, dict) else None
+
+    def publish_failed(
+        self, fp: str, worker: str, attempt: int, error: str, permanent: bool
+    ) -> None:
+        self.transport.put(
+            self.failed_path(fp, attempt),
+            json.dumps(
+                {
+                    "fp": fp,
+                    "worker": worker,
+                    "attempt": attempt,
+                    "error": error[:500],
+                    "permanent": permanent,
+                    "t": time.time(),
+                }
+            ),
+        )
+
+    def failed_markers(self) -> List[Dict]:
+        markers = []
+        for name in self.transport.listdir("fabric/failed"):
+            text = self.transport.get(f"fabric/failed/{name}")
+            if text is None:
+                continue
+            try:
+                data = json.loads(text)
+            except json.JSONDecodeError:
+                continue
+            if isinstance(data, dict) and "fp" in data:
+                markers.append(data)
+        return markers
+
+    # -- results -----------------------------------------------------------
+    def put_result(self, fp: str, text: str) -> bool:
+        return self.transport.put(f"{fp}.json", text)
+
+    # -- cleanup -----------------------------------------------------------
+    def clear(self, fps: Sequence[str]) -> None:
+        """Remove this campaign's fabric files (heartbeats are left —
+        external workers may serve other campaigns)."""
+        fps = set(fps)
+        for fp in fps:
+            self.transport.delete(self.task_path(fp))
+            self.transport.delete(self.lease_path(fp))
+            self.transport.delete(self.done_path(fp))
+        for name in self.transport.listdir("fabric/failed"):
+            if name.split(".", 1)[0] in fps:
+                self.transport.delete(f"fabric/failed/{name}")
+        self.transport.delete(self.META)
+
+
+def fabric_status(store_root: Path) -> Dict:
+    """Live fabric state for ``repro campaign --status``.
+
+    Returns worker heartbeat ages and per-lease liveness, judged against
+    the configured TTL — purely observational (nothing is broken or
+    claimed).
+    """
+    fabric = Fabric(FileTransport(Path(store_root)))
+    ttl = lease_ttl()
+    workers = {}
+    for worker in fabric.workers():
+        age = fabric.heartbeat_age(worker)
+        workers[worker] = {
+            "heartbeat_age": age,
+            "live": age is not None and age <= ttl,
+        }
+    leases = []
+    for fp in fabric.leased():
+        worker = fabric.lease_worker(fp)
+        age = fabric.heartbeat_age(worker) if worker else None
+        if age is None:
+            age = fabric.lease_age(fp)
+        leases.append(
+            {
+                "fp": fp,
+                "worker": worker,
+                "age": age,
+                "live": age is not None and age <= ttl,
+            }
+        )
+    return {"workers": workers, "leases": leases, "ttl": ttl}
+
+
+# ---------------------------------------------------------------------------
+# Worker side
+# ---------------------------------------------------------------------------
+
+
+def _worker_execute(
+    fabric: Fabric, spec: RunSpec, worker: str, retries: int, base: float
+) -> bool:
+    """Execute one leased spec with the standard retry/timeout discipline.
+
+    Success publishes result-then-marker; a permanently failed spec
+    publishes a ``permanent`` failure marker.  Either way the lease is
+    released so the coordinator's view converges.
+    """
+    from repro.campaign.executor import _execute_attempt
+
+    fp = spec.fingerprint
+    attempt = 0
+    t0 = time.monotonic()
+    while True:
+        attempt += 1
+        try:
+            result = _execute_attempt(spec)
+        except KeyboardInterrupt:
+            fabric.release(fp)
+            raise
+        except Exception as exc:  # noqa: BLE001 - every failure is retryable
+            fabric.publish_failed(
+                fp, worker, attempt, repr(exc), permanent=attempt > retries
+            )
+            if attempt > retries:
+                fabric.release(fp)
+                return False
+            time.sleep(base * (2.0 ** (attempt - 1)))
+            continue
+        if fabric.transport.local_path(f"{fp}.json") is None:
+            # Remote store: execute_spec published to the worker-local
+            # cache only — push the bytes through the transport's atomic
+            # publish before the marker that advertises them.
+            fabric.put_result(fp, result_to_json(result))
+        fabric.publish_done(fp, worker, time.monotonic() - t0)
+        fabric.release(fp)
+        return True
+
+
+def run_worker(
+    store: str,
+    worker_id: Optional[str] = None,
+    idle_exit: Optional[float] = None,
+    runner=None,
+) -> int:
+    """Fabric worker main loop: heartbeat, claim batches, execute, publish.
+
+    Runs until ``idle_exit`` seconds pass with nothing claimable (None =
+    forever, for long-lived external workers).  Returns the number of
+    specs this worker completed.
+    """
+    from repro.campaign.executor import retry_backoff, spec_retries
+
+    transport = transport_for(store, runner=runner)
+    if isinstance(transport, FileTransport):
+        # Publish results straight into the shared store: execute_spec's
+        # store-through write *is* the delivery.
+        os.environ[CACHE_ENV] = str(transport.root)
+    fabric = Fabric(transport)
+    worker_id = worker_id or os.environ.get(WORKER_ID_ENV) or f"w{os.getpid()}"
+    tick = remote_tick()
+    ttl = lease_ttl()
+    batch = lease_batch()
+    retries = spec_retries()
+    base = retry_backoff()
+
+    fabric.heartbeat(worker_id)
+    stop = threading.Event()
+
+    def _beat() -> None:
+        while not stop.wait(max(0.05, ttl / 4.0)):
+            fabric.heartbeat(worker_id)
+
+    beater = threading.Thread(target=_beat, daemon=True)
+    beater.start()
+
+    completed = 0
+    # Fingerprints this worker permanently failed (or refused): the lease
+    # is released so *another* worker may still try, but reclaiming them
+    # here would just spin on the same failure until the coordinator
+    # harvests the permanent marker and ends the spec.
+    refused: set = set()
+    idle_since = time.monotonic()
+    try:
+        while True:
+            claimed: List[str] = []
+            done = set(fabric.done_fps())
+            for fp in fabric.tasks():
+                if len(claimed) >= batch:
+                    break
+                if fp in done or fp in refused:
+                    continue
+                if fabric.lease_worker(fp) is not None:
+                    continue
+                if fabric.claim(fp, worker_id):
+                    claimed.append(fp)
+            if not claimed:
+                if (
+                    idle_exit is not None
+                    and time.monotonic() - idle_since > idle_exit
+                ):
+                    break
+                time.sleep(tick)
+                continue
+            idle_since = time.monotonic()
+            for fp in claimed:
+                if not fabric.lease_owned(fp, worker_id):
+                    # The coordinator expired our lease (we looked dead or
+                    # partitioned) and someone else owns the work now —
+                    # abandon the rest of the batch rather than fight.
+                    continue
+                text = fabric.read_task(fp)
+                if text is None:
+                    fabric.release(fp)
+                    continue
+                try:
+                    spec = RunSpec.from_json(text)
+                except (ValueError, KeyError, TypeError) as exc:
+                    # Version/calibration skew or a torn task file:
+                    # refusing loudly beats executing under the wrong
+                    # content address.
+                    fabric.publish_failed(
+                        fp, worker_id, 1, repr(exc), permanent=True
+                    )
+                    refused.add(fp)
+                    fabric.release(fp)
+                    continue
+                if _worker_execute(fabric, spec, worker_id, retries, base):
+                    completed += 1
+                else:
+                    refused.add(fp)
+    finally:
+        stop.set()
+    return completed
+
+
+def spawn_local_workers(
+    n: int, store: Path, idle_exit: float
+) -> List[subprocess.Popen]:
+    """Start ``n`` worker subprocesses against a file-transport store.
+
+    Workers inherit the environment — including a resolved
+    ``REPRO_FAULT_PLAN``/``REPRO_FAULT_LEDGER``, so fault directives fire
+    inside real fabric workers — plus an explicit ``PYTHONPATH`` entry
+    for this package (the coordinator may not have exported one).
+    """
+    import repro
+
+    src = str(Path(repro.__file__).resolve().parent.parent)
+    procs = []
+    for i in range(n):
+        env = dict(os.environ)
+        env[WORKER_ID_ENV] = f"w{i + 1}-{os.getpid()}"
+        env["REPRO_BUILD_WORKERS"] = "1"
+        existing = env.get("PYTHONPATH")
+        env["PYTHONPATH"] = f"{src}{os.pathsep}{existing}" if existing else src
+        procs.append(
+            subprocess.Popen(
+                [
+                    sys.executable,
+                    "-m",
+                    "repro",
+                    "campaign",
+                    "--work",
+                    "--store",
+                    str(store),
+                    "--idle-exit",
+                    f"{idle_exit:g}",
+                ],
+                env=env,
+                stdout=subprocess.DEVNULL,
+                stderr=subprocess.DEVNULL,
+            )
+        )
+    return procs
+
+
+# ---------------------------------------------------------------------------
+# Coordinator side
+# ---------------------------------------------------------------------------
+
+
+def _coordinator_execute(
+    fabric: Fabric, spec: RunSpec, state: "_ExecState"
+) -> None:
+    """Graceful-degradation path: the coordinator executes one claimed
+    spec inline, with the standard retry discipline and journaling."""
+    from repro.campaign.executor import retry_backoff, spec_retries
+    from repro.campaign.executor import _execute_attempt
+
+    fp = spec.fingerprint
+    retries = spec_retries()
+    base = retry_backoff()
+    t0 = time.monotonic()
+    while True:
+        try:
+            result = _execute_attempt(spec)
+        except KeyboardInterrupt:
+            raise
+        except Exception as exc:  # noqa: BLE001
+            if not state.record_failure(fp, exc, retries):
+                fabric.release(fp)
+                return
+            time.sleep(state.backoff_delay(fp, base))
+            continue
+        seconds = time.monotonic() - t0
+        state.results[fp] = result
+        state.record_done(fp, seconds, worker=COORDINATOR_ID)
+        fabric.publish_done(fp, COORDINATOR_ID, seconds)
+        fabric.release(fp)
+        faults.on_completion(len(state.results))
+        return
+
+
+def run_remote(
+    ordered: Sequence[RunSpec], state: "_ExecState", n_workers: int
+) -> None:
+    """Coordinator loop: publish tasks, harvest markers, expire leases.
+
+    Fills ``state`` exactly like the serial/pool drivers do, so
+    ``Campaign.run`` needs no special-casing downstream (interrupts,
+    permanent failures, stats all behave identically).
+    """
+    root = result_cache_dir()
+    if root is None:
+        raise ValueError(
+            f"{REMOTE_ENV} requires {CACHE_ENV} (the shared result store)"
+        )
+    journal = state.journal
+    fabric = Fabric(FileTransport(root))
+    ttl = lease_ttl()
+    tick = remote_tick()
+    grace = remote_grace()
+
+    pending: Dict[str, RunSpec] = {
+        s.fingerprint: s for s in ordered if s.fingerprint not in state.results
+    }
+    if not pending:
+        return
+    all_fps = list(pending)
+    campaign = journal.campaign if journal is not None else "adhoc"
+    fabric.write_meta(campaign, len(pending))
+    for spec in pending.values():
+        fabric.publish_task(spec)
+    if journal is not None:
+        journal.remote_begin(fabric.transport.kind, n_workers, len(pending))
+
+    state.lease_expiries = 0
+    procs = (
+        spawn_local_workers(n_workers, root, idle_exit=max(10.0, 4.0 * ttl))
+        if n_workers > 0
+        else []
+    )
+    seen_claims: set = set()
+    seen_failures: set = set()
+    fell_back = False
+    last_progress = time.monotonic()
+    try:
+        while pending:
+            progressed = False
+
+            # 1. Observe (and journal) new claims.
+            leased = fabric.leased()
+            if journal is not None:
+                claims: Dict[str, int] = {}
+                for fp in leased:
+                    worker = fabric.lease_worker(fp)
+                    if worker is None or (fp, worker) in seen_claims:
+                        continue
+                    seen_claims.add((fp, worker))
+                    claims[worker] = claims.get(worker, 0) + 1
+                for worker, count in claims.items():
+                    journal.claim(worker, count)
+
+            # 2. Harvest completions.  A marker for an already-merged
+            # fingerprint (duplicate delivery, re-executed expired lease)
+            # is skipped — the dedup the content-address contract promises.
+            for fp in fabric.done_fps():
+                if fp not in pending:
+                    continue
+                marker = fabric.read_done(fp) or {}
+                result = cached_result(fp)
+                if result is None:
+                    # Marker without a readable result (torn marker racing
+                    # our listing, or a pruned/quarantined entry): drop the
+                    # marker and lease so the work is simply reassigned.
+                    fabric.transport.delete(fabric.done_path(fp))
+                    fabric.break_lease(fp)
+                    continue
+                pending.pop(fp)
+                state.results[fp] = result
+                state.record_done(
+                    fp,
+                    float(marker.get("s", 0.0)),
+                    worker=marker.get("worker"),
+                )
+                progressed = True
+                faults.on_completion(len(state.results))
+
+            # 3. Harvest failed attempts; permanent ones end the spec.
+            for marker in fabric.failed_markers():
+                key = (marker["fp"], marker.get("attempt", 0))
+                if key in seen_failures:
+                    continue
+                seen_failures.add(key)
+                fp = marker["fp"]
+                attempt = int(marker.get("attempt", 1))
+                state.attempts[fp] = max(state.attempts.get(fp, 0), attempt)
+                if journal is not None:
+                    journal.failed(fp, attempt, marker.get("error", ""))
+                if marker.get("permanent") and fp in pending:
+                    state.failures[fp] = marker.get("error", "permanent")
+                    pending.pop(fp)
+                    progressed = True
+                elif not marker.get("permanent"):
+                    state.retries += 1
+
+            # 4. Expire stale leases: worker heartbeat (or, for a torn
+            # lease, the lease file itself) older than the TTL.
+            for fp in leased:
+                if fp not in pending:
+                    continue
+                worker = fabric.lease_worker(fp)
+                age = (
+                    fabric.heartbeat_age(worker)
+                    if worker is not None
+                    else None
+                )
+                if age is None:
+                    age = fabric.lease_age(fp)
+                if age is None or age <= ttl:
+                    continue
+                if fabric.break_lease(fp):
+                    state.lease_expiries += 1
+                    if journal is not None:
+                        journal.lease_expired(worker or "?", fp)
+
+            # 5. Graceful degradation: no live workers and no progress
+            # for the grace period — execute unclaimed work ourselves,
+            # one spec per tick, under the same lease protocol.
+            if progressed:
+                last_progress = time.monotonic()
+            elif pending and time.monotonic() - last_progress > grace:
+                live = any(
+                    (a := fabric.heartbeat_age(w)) is not None and a <= ttl
+                    for w in fabric.workers()
+                    if w != COORDINATOR_ID
+                )
+                claimable = [
+                    fp
+                    for fp in pending
+                    if fabric.lease_worker(fp) is None
+                    and fabric.lease_age(fp) is None
+                ]
+                if claimable and not live:
+                    if not fell_back:
+                        fell_back = True
+                        if journal is not None:
+                            journal.fallback("no live workers", len(claimable))
+                    fp = claimable[0]
+                    if fabric.claim(fp, COORDINATOR_ID):
+                        spec = pending[fp]
+                        _coordinator_execute(fabric, spec, state)
+                        if fp in state.results or fp in state.failures:
+                            pending.pop(fp, None)
+                        last_progress = time.monotonic()
+                    continue
+
+            if pending and not progressed:
+                time.sleep(tick)
+    except KeyboardInterrupt:
+        # Leave tasks/leases/markers in place: they are exactly the
+        # resume state.  Spawned workers are stopped — external ones
+        # keep their leases and finish (their results harvest on resume).
+        for proc in procs:
+            proc.terminate()
+        raise
+    finally:
+        for proc in procs:
+            if proc.poll() is None:
+                proc.terminate()
+        for proc in procs:
+            try:
+                proc.wait(timeout=10)
+            except (subprocess.TimeoutExpired, OSError):
+                proc.kill()
+    fabric.clear(all_fps)

@@ -231,8 +231,14 @@ def prune_result_cache(max_mb: Optional[float] = None) -> Dict[str, float]:
     variable documents — or no cache directory, this is a no-op.
     Eviction is by ascending mtime — :func:`cached_result` bumps mtime
     on every hit (memo or disk), making this LRU rather than FIFO.
+    Entries an in-flight (resumable, not-yet-complete) campaign journal
+    has recorded as done are exempt: evicting them would silently turn
+    checkpointed progress back into pending simulation on resume.
     Returns eviction accounting (files/bytes removed, files/bytes kept).
     """
+    from repro.campaign.journal import protected_fingerprints
+
     if max_mb is None:
         max_mb = result_cache_max_mb()
-    return prune_lru(result_cache_dir(), max_mb)
+    root = result_cache_dir()
+    return prune_lru(root, max_mb, protected_stems=protected_fingerprints(root))

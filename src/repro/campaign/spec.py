@@ -149,6 +149,52 @@ class RunSpec:
         object.__setattr__(self, "_fingerprint", digest)
         return digest
 
+    def to_json(self) -> str:
+        """Wire form for the distributed fabric's task files.
+
+        Everything fingerprint-relevant plus ``wave``; a worker rebuilds
+        the spec with :meth:`from_json` and re-derives the fingerprint
+        from its *own* code and database, so a coordinator/worker version
+        skew surfaces as a fingerprint mismatch instead of a silently
+        mis-filed result.
+        """
+        return json.dumps(
+            {
+                "seed": self.seed,
+                "n_cores": self.n_cores,
+                "rm_kind": self.rm_kind,
+                "model": self.model,
+                "apps": list(self.apps),
+                "alpha": self.alpha,
+                "horizon_intervals": self.horizon_intervals,
+                "charge_overheads": self.charge_overheads,
+                "wave": self.wave,
+                "fingerprint": self.fingerprint,
+            },
+            sort_keys=True,
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "RunSpec":
+        """Rebuild a spec from :meth:`to_json`, verifying the fingerprint.
+
+        Raises ``ValueError`` when the locally recomputed fingerprint
+        disagrees with the one the publisher recorded — the two sides run
+        different code, calibration or RESULT_VERSION, and executing the
+        task would publish a result under the wrong content address.
+        """
+        data = json.loads(text)
+        claimed = data.pop("fingerprint", None)
+        data["apps"] = tuple(data["apps"])
+        spec = cls(**data)
+        if claimed is not None and claimed != spec.fingerprint:
+            raise ValueError(
+                f"task fingerprint mismatch: publisher says {claimed[:12]}, "
+                f"this worker computes {spec.fingerprint[:12]} — "
+                "coordinator/worker version or calibration skew"
+            )
+        return spec
+
     def label(self) -> str:
         """Human-readable one-liner (log/progress output)."""
         model = f"/{self.model}" if self.model else ""

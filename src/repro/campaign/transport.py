@@ -1,0 +1,232 @@
+"""Pluggable transports for the distributed campaign fabric.
+
+The fabric (:mod:`repro.campaign.remote`) is a lease protocol built from
+six tiny file primitives on a *shared store*: atomic publish, exclusive
+create, read, delete, list and age.  Everything protocol-level — lease
+semantics, heartbeats, completion markers, fault injection — lives above
+this interface, so every transport runs the *same* protocol and inherits
+the same convergence guarantees.
+
+:class:`FileTransport` is the shared-filesystem case (one machine's
+worker processes, or any POSIX network filesystem): the primitives map
+straight onto :mod:`repro.util.diskcache`'s atomic-rename and
+``O_CREAT|O_EXCL`` helpers.
+
+:class:`SSHTransport` runs the same six primitives as POSIX shell
+one-liners on a remote host (in the spirit of instrumentation-infra's
+``Pool``/``PrunPool`` split: same job protocol, different substrate).
+The exclusive create uses ``set -C`` (noclobber) — the shell-level
+equivalent of ``O_EXCL`` — and atomic publish is ``cat > tmp && mv``,
+so the store's crash-safety contract is preserved end to end.  The
+command runner is injectable: tests substitute a local ``bash -c``
+runner and exercise the real scripts without an SSH daemon.
+"""
+
+from __future__ import annotations
+
+import shlex
+import subprocess
+import time
+from pathlib import Path
+from typing import Callable, List, Optional, Tuple
+
+from repro.util.diskcache import (
+    atomic_write_text,
+    exclusive_create_text,
+    read_text_guarded,
+)
+
+__all__ = [
+    "FileTransport",
+    "SSHTransport",
+    "Transport",
+    "transport_for",
+]
+
+#: A runner executes one shell script (optionally with stdin text) and
+#: returns ``(returncode, stdout)``.  The default SSH runner shells out
+#: to ``ssh <host> <script>``; tests inject ``bash -c`` instead.
+Runner = Callable[[str, str], Tuple[int, str]]
+
+
+class Transport:
+    """Six file primitives on a shared store, addressed by relative path."""
+
+    kind = "abstract"
+
+    def describe(self) -> str:
+        raise NotImplementedError
+
+    def put(self, rel: str, text: str) -> bool:
+        """Atomically publish ``rel`` (complete old or complete new)."""
+        raise NotImplementedError
+
+    def put_new(self, rel: str, text: str) -> bool:
+        """Create ``rel`` iff absent — the lease-claim race resolver."""
+        raise NotImplementedError
+
+    def get(self, rel: str) -> Optional[str]:
+        """Contents, or None when missing/unreadable."""
+        raise NotImplementedError
+
+    def delete(self, rel: str) -> bool:
+        """Remove ``rel``; False when it did not exist."""
+        raise NotImplementedError
+
+    def listdir(self, rel: str) -> List[str]:
+        """File names under a store directory ([] when missing)."""
+        raise NotImplementedError
+
+    def age(self, rel: str) -> Optional[float]:
+        """Seconds since ``rel`` was last written, or None when missing."""
+        raise NotImplementedError
+
+    def local_path(self, rel: str) -> Optional[Path]:
+        """Local filesystem twin of ``rel`` (None for remote stores) —
+        what the fault-injection store hooks need to tear a write."""
+        return None
+
+
+class FileTransport(Transport):
+    """Shared-filesystem transport (same-host workers, NFS, CI runners)."""
+
+    kind = "file"
+
+    def __init__(self, root: Path):
+        self.root = Path(root)
+
+    def describe(self) -> str:
+        return str(self.root)
+
+    def put(self, rel: str, text: str) -> bool:
+        return atomic_write_text(self.root / rel, text)
+
+    def put_new(self, rel: str, text: str) -> bool:
+        return exclusive_create_text(self.root / rel, text)
+
+    def get(self, rel: str) -> Optional[str]:
+        return read_text_guarded(self.root / rel)
+
+    def delete(self, rel: str) -> bool:
+        try:
+            (self.root / rel).unlink()
+        except OSError:
+            return False
+        return True
+
+    def listdir(self, rel: str) -> List[str]:
+        try:
+            return sorted(
+                p.name for p in (self.root / rel).iterdir() if p.is_file()
+            )
+        except OSError:
+            return []
+
+    def age(self, rel: str) -> Optional[float]:
+        try:
+            return max(0.0, time.time() - (self.root / rel).stat().st_mtime)
+        except OSError:
+            return None
+
+    def local_path(self, rel: str) -> Optional[Path]:
+        return self.root / rel
+
+
+class SSHTransport(Transport):
+    """The same six primitives as POSIX shell one-liners over SSH.
+
+    Addressed as ``ssh://[user@]host/abs/path``.  Every primitive is one
+    round-trip; the scripts are deliberately plain POSIX ``sh`` (mkdir,
+    cat, mv, rm, ls, stat) so any unix remote works.  ``runner``
+    replaces the SSH invocation — tests pass a local ``bash -c`` runner
+    to drive the identical scripts against a local directory.
+    """
+
+    kind = "ssh"
+
+    def __init__(self, host: str, root: str, runner: Optional[Runner] = None):
+        self.host = host
+        self.root = root.rstrip("/")
+        self._runner = runner or self._ssh_runner
+
+    def describe(self) -> str:
+        return f"ssh://{self.host}{self.root}"
+
+    def _ssh_runner(self, script: str, stdin: str = "") -> Tuple[int, str]:
+        proc = subprocess.run(
+            ["ssh", "-o", "BatchMode=yes", self.host, script],
+            input=stdin,
+            capture_output=True,
+            text=True,
+        )
+        return proc.returncode, proc.stdout
+
+    def _q(self, rel: str) -> str:
+        return shlex.quote(f"{self.root}/{rel}")
+
+    def _qdir(self, rel: str) -> str:
+        parent = f"{self.root}/{rel}".rsplit("/", 1)[0]
+        return shlex.quote(parent)
+
+    def put(self, rel: str, text: str) -> bool:
+        # cat-to-tmp + mv mirrors atomic_write_text: readers only ever
+        # see a complete previous or complete new file.
+        path = self._q(rel)
+        rc, _ = self._runner(
+            f"mkdir -p {self._qdir(rel)} && t={path}.$$.tmp && "
+            f"cat > \"$t\" && mv \"$t\" {path}",
+            text,
+        )
+        return rc == 0
+
+    def put_new(self, rel: str, text: str) -> bool:
+        # set -C (noclobber) makes `>` fail when the file exists — the
+        # shell-level O_EXCL this module's docstring promises.
+        rc, _ = self._runner(
+            f"mkdir -p {self._qdir(rel)} && "
+            f"(set -C; cat > {self._q(rel)}) 2>/dev/null",
+            text,
+        )
+        return rc == 0
+
+    def get(self, rel: str) -> Optional[str]:
+        rc, out = self._runner(f"cat {self._q(rel)} 2>/dev/null", "")
+        return out if rc == 0 else None
+
+    def delete(self, rel: str) -> bool:
+        rc, _ = self._runner(f"rm {self._q(rel)} 2>/dev/null", "")
+        return rc == 0
+
+    def listdir(self, rel: str) -> List[str]:
+        rc, out = self._runner(f"ls -1 {self._q(rel)} 2>/dev/null", "")
+        if rc != 0:
+            return []
+        return sorted(name for name in out.splitlines() if name)
+
+    def age(self, rel: str) -> Optional[float]:
+        # Age is computed remote-side (one clock), so coordinator/worker
+        # clock skew cannot mis-expire a lease.
+        rc, out = self._runner(
+            f"now=$(date +%s); m=$(stat -c %Y {self._q(rel)} 2>/dev/null)"
+            f" && echo $((now - m))",
+            "",
+        )
+        if rc != 0:
+            return None
+        try:
+            return max(0.0, float(out.strip()))
+        except ValueError:
+            return None
+
+
+def transport_for(store: str, runner: Optional[Runner] = None) -> Transport:
+    """Transport for a store address: ``ssh://host/path`` or a directory."""
+    if store.startswith("ssh://"):
+        rest = store[len("ssh://"):]
+        host, _, path = rest.partition("/")
+        if not host or not path:
+            raise ValueError(
+                f"bad ssh store {store!r}; expected ssh://[user@]host/abs/path"
+            )
+        return SSHTransport(host, "/" + path, runner=runner)
+    return FileTransport(Path(store))

@@ -14,6 +14,8 @@ Usage::
     python -m repro cache                  # result-store + local-memo stats
     python -m repro cache --prune --max-mb 256   # LRU-evict to 256 MiB
     python -m repro campaign --status      # journaled campaign progress
+    python -m repro all --quick --remote --remote-workers 2  # fabric run
+    python -m repro campaign --work --store /shared/results  # fabric worker
     python -m repro bench --emit localopt  # regenerate one BENCH_*.json
     python -m repro bench --emit all       # ... or every baseline
     python -m repro bench --check simloop  # CI smoke: no perf collapse
@@ -29,7 +31,11 @@ the persistent local-decision memo named by ``REPRO_LOCAL_MEMO`` (cap:
 ``benchmarks/emit_*_baseline.py`` entry points; ``campaign --status``
 reports progress, retries and failure tallies from the crash-safe run
 journals kept under the result store (interrupted campaigns resume by
-re-running the same command).
+re-running the same command), plus per-worker attribution and live/stale
+lease state for distributed runs.  ``--remote`` dispatches a campaign
+through the lease-based distributed fabric (:mod:`repro.campaign.remote`)
+and ``campaign --work`` turns this process into a fabric worker against a
+shared store (a directory, or ``ssh://host/path``).
 """
 
 from __future__ import annotations
@@ -124,7 +130,61 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help=(
             "with 'campaign': report journaled campaign progress, retry "
-            "and failure tallies from the result store's run journals"
+            "and failure tallies from the result store's run journals, "
+            "plus per-worker attribution and lease liveness"
+        ),
+    )
+    parser.add_argument(
+        "--remote",
+        action="store_true",
+        help=(
+            "execute the campaign through the distributed fabric "
+            "(REPRO_REMOTE): pending runs are leased to fabric workers "
+            "over the shared result store; requires REPRO_RESULT_CACHE"
+        ),
+    )
+    parser.add_argument(
+        "--remote-workers",
+        type=int,
+        default=None,
+        metavar="N",
+        help=(
+            "with --remote: local fabric worker processes to spawn "
+            "(REPRO_REMOTE_WORKERS; 0 = rely on external "
+            "'campaign --work' workers)"
+        ),
+    )
+    parser.add_argument(
+        "--work",
+        action="store_true",
+        help=(
+            "with 'campaign': run as a fabric worker — claim leased "
+            "fingerprints from --store, execute and publish results"
+        ),
+    )
+    parser.add_argument(
+        "--store",
+        default=None,
+        metavar="STORE",
+        help=(
+            "with 'campaign --work': the shared store — a directory "
+            "(file transport) or ssh://[user@]host/abs/path"
+        ),
+    )
+    parser.add_argument(
+        "--worker-id",
+        default=None,
+        metavar="ID",
+        help="with 'campaign --work': worker id (default: w<pid>)",
+    )
+    parser.add_argument(
+        "--idle-exit",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help=(
+            "with 'campaign --work': exit after this long with nothing "
+            "claimable (default: run forever)"
         ),
     )
     parser.add_argument(
@@ -258,14 +318,36 @@ def _cache_command(prune: bool, max_mb: float | None) -> int:
     return 0
 
 
-def _campaign_command(status: bool) -> int:
-    """Report journaled campaign progress (``repro campaign --status``)."""
-    from repro.campaign.journal import journal_status
+def _worker_command(args) -> int:
+    """Run this process as a fabric worker (``campaign --work``)."""
+    from repro.campaign.remote import run_worker
+
+    if args.store is None:
+        print("campaign --work requires --store", file=sys.stderr)
+        return 2
+    completed = run_worker(
+        args.store, worker_id=args.worker_id, idle_exit=args.idle_exit
+    )
+    print(f"[worker done: {completed} specs completed]", file=sys.stderr)
+    return 0
+
+
+def _campaign_command(args) -> int:
+    """Report journaled campaign progress (``repro campaign --status``)
+    or serve as a fabric worker (``repro campaign --work``)."""
+    from repro.campaign.journal import (
+        journal_status,
+        read_journal,
+        worker_attribution,
+    )
+    from repro.campaign.remote import fabric_status
     from repro.campaign.results import CACHE_ENV, result_cache_dir
 
-    if not status:
+    if args.work:
+        return _worker_command(args)
+    if not args.status:
         print(
-            "the 'campaign' subcommand requires --status",
+            "the 'campaign' subcommand requires --status or --work",
             file=sys.stderr,
         )
         return 2
@@ -305,6 +387,36 @@ def _campaign_command(status: bool) -> int:
         if tallies:
             line += f" [{', '.join(tallies)}]"
         print(line)
+        attribution = worker_attribution(read_journal(Path(s["path"])))
+        if s.get("remote") or len(attribution) > 1:
+            now = time.time()
+            for worker in sorted(attribution):
+                w = attribution[worker]
+                parts = [f"{w['done']} done"]
+                if w["claims"]:
+                    parts.append(f"{w['claims']} claims")
+                if w["lease_expired"]:
+                    parts.append(f"{w['lease_expired']} expired leases")
+                if w["last_t"]:
+                    parts.append(f"last seen {max(0.0, now - w['last_t']):.0f}s ago")
+                print(f"  worker {worker}: {', '.join(parts)}")
+    fabric = fabric_status(root)
+    if fabric["workers"] or fabric["leases"]:
+        print(f"fabric (lease TTL {fabric['ttl']:g}s):")
+        for worker in sorted(fabric["workers"]):
+            w = fabric["workers"][worker]
+            age = w["heartbeat_age"]
+            print(
+                f"  worker {worker}: "
+                f"{'live' if w['live'] else 'stale'}"
+                + (f", heartbeat {age:.0f}s ago" if age is not None else "")
+            )
+        for lease in fabric["leases"]:
+            print(
+                f"  lease {lease['fp'][:16]}: "
+                f"worker {lease['worker'] or '?'}, "
+                f"{'live' if lease['live'] else 'stale'}"
+            )
     return 0
 
 
@@ -331,8 +443,17 @@ def main(argv: Sequence[str] | None = None) -> int:
     if args.experiment == "cache":
         return _cache_command(args.prune, args.max_mb)
     if args.experiment == "campaign":
-        return _campaign_command(args.status)
+        return _campaign_command(args)
 
+    if args.remote or args.remote_workers is not None:
+        # The fabric knobs ride on the environment like every other
+        # execution-strategy toggle: results stay bit-identical, only
+        # the scheduling substrate changes.
+        import os
+
+        os.environ["REPRO_REMOTE"] = "1"
+        if args.remote_workers is not None:
+            os.environ["REPRO_REMOTE_WORKERS"] = str(args.remote_workers)
     if args.wave is not None:
         # The event-loop mode is an execution strategy, not an input:
         # results are bit-identical across modes, so it rides on the

@@ -20,6 +20,7 @@ __all__ = [
     "atomic_write_text",
     "bump_mtime",
     "dir_stats",
+    "exclusive_create_text",
     "fsync_append_line",
     "parse_max_mb",
     "prune_lru",
@@ -28,9 +29,10 @@ __all__ = [
 ]
 
 #: Store sub-directories that hold bookkeeping, not cache entries: the
-#: campaign run journal and quarantined corrupt entries.  LRU pruning and
-#: size accounting must never touch them.
-PROTECTED_DIRS = ("journal", "quarantine")
+#: campaign run journal, quarantined corrupt entries and the distributed
+#: campaign fabric (tasks/leases/worker registry).  LRU pruning and size
+#: accounting must never touch them.
+PROTECTED_DIRS = ("journal", "quarantine", "fabric")
 
 
 def parse_max_mb(env_name: str) -> Optional[float]:
@@ -69,6 +71,29 @@ def atomic_write_text(path: Path, text: str, fsync: bool = False) -> bool:
                 fh.flush()
                 os.fsync(fh.fileno())
         os.replace(tmp, path)
+    except OSError:
+        return False
+    return True
+
+
+def exclusive_create_text(path: Path, text: str) -> bool:
+    """Atomically create ``path`` with ``text`` iff it does not exist.
+
+    The distributed fabric's lease-claim primitive: two workers racing to
+    claim one fingerprint resolve through the filesystem — ``O_EXCL``
+    creation succeeds for exactly one of them (the POSIX equivalent of
+    ``set -C`` noclobber, which the SSH transport uses for the same
+    operation on a remote filesystem).  Returns False when the file
+    already exists or the filesystem refuses.
+    """
+    try:
+        path.parent.mkdir(parents=True, exist_ok=True)
+        fd = os.open(path, os.O_CREAT | os.O_EXCL | os.O_WRONLY, 0o644)
+    except OSError:
+        return False
+    try:
+        with os.fdopen(fd, "w") as fh:
+            fh.write(text)
     except OSError:
         return False
     return True
@@ -179,11 +204,18 @@ def prune_lru(
     root: Optional[Path],
     max_mb: Optional[float],
     pattern: str = "*.json",
+    protected_stems: Optional[frozenset] = None,
 ) -> Dict[str, float]:
     """Evict oldest-mtime entries until the store fits ``max_mb``.
 
     ``max_mb`` of None (or non-positive, which the env variables document
     as *unbounded*) or a missing root makes this a stats-only no-op.
+    ``protected_stems`` names entries (by file stem, i.e. fingerprint)
+    that must survive eviction regardless of age — the result store
+    passes the fingerprints an in-flight campaign journal still depends
+    on, so pruning mid-campaign can never erase resume progress.  Such
+    entries still count toward the size total (they really occupy the
+    disk), they are just never the ones removed.
     Returns eviction accounting (files/bytes removed, files/bytes kept).
     """
     if max_mb is not None and max_mb <= 0:
@@ -192,6 +224,7 @@ def prune_lru(
     if root is None or max_mb is None or not root.is_dir():
         stats = dir_stats(root, pattern)
         return {**removed, "kept_files": stats["files"], "kept_bytes": stats["bytes"]}
+    protected_stems = protected_stems or frozenset()
     entries = []
     total = 0
     for file in root.glob(pattern):
@@ -199,6 +232,15 @@ def prune_lru(
             # Journal and quarantine bookkeeping is not LRU-evictable
             # cache content — pruning it would erase resume state or
             # corruption evidence.
+            continue
+        if file.stem in protected_stems:
+            # Referenced by an in-flight campaign journal: evicting it
+            # would silently convert checkpointed progress back into
+            # pending simulation on resume.
+            try:
+                total += file.stat().st_size
+            except OSError:
+                pass
             continue
         try:
             stat = file.stat()

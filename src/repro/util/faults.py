@@ -12,14 +12,24 @@ semicolon-separated list of directives::
     truncate:store=results,fp=       # truncate the next result-store write
     corrupt:store=memo,fp=           # garbage the next local-memo write
     interrupt:after=2                # KeyboardInterrupt after 2 completions
+    partition:worker=w1,times=3      # suppress 3 heartbeats of worker w1*
+    dupdone:fp=ab12                  # publish that completion marker twice
 
 ``spec=N`` addresses the N-th spec (1-based) of the campaign's
 deterministic dispatch order; :func:`prepare_for_campaign` resolves it to
 that spec's fingerprint before any worker forks, so every process agrees
 on the target.  ``fp=<prefix>`` matches a spec fingerprint (crash / fail /
-hang) or a store entry name (truncate / corrupt; the empty prefix matches
-every entry).  ``times`` bounds how often a directive fires (default 1 —
-fire once, then let the retry succeed).
+hang / dupdone) or a store entry name (truncate / corrupt; the empty
+prefix matches every entry).  ``times`` bounds how often a directive
+fires (default 1 — fire once, then let the retry succeed).
+
+The transport kinds model distributed-fabric failures: ``partition``
+suppresses a worker's next ``times`` heartbeat writes (its lease expires
+and the coordinator reassigns the work while the worker keeps executing —
+the classic duplicate-execution scenario), and ``dupdone`` republishes a
+completion marker a second time (duplicate delivery).  ``truncate`` /
+``corrupt`` additionally accept ``store=lease`` and ``store=done`` to
+tear the fabric's lease-claim and completion-marker writes.
 
 Fires are counted in a *ledger* directory (``REPRO_FAULT_LEDGER``) as one
 marker file per fire, recorded durably **before** the fault executes —
@@ -50,6 +60,8 @@ __all__ = [
     "LEDGER_ENV",
     "active_plan",
     "on_completion",
+    "on_done_publish",
+    "on_heartbeat",
     "on_spec",
     "on_store_write",
     "parse_plan",
@@ -68,8 +80,9 @@ CRASH_EXIT_CODE = 13
 
 _SPEC_KINDS = ("crash", "fail", "hang")
 _STORE_KINDS = ("truncate", "corrupt")
-_KINDS = _SPEC_KINDS + _STORE_KINDS + ("interrupt",)
-_STORES = ("results", "memo")
+_TRANSPORT_KINDS = ("partition", "dupdone")
+_KINDS = _SPEC_KINDS + _STORE_KINDS + _TRANSPORT_KINDS + ("interrupt",)
+_STORES = ("results", "memo", "lease", "done")
 
 
 class InjectedFault(RuntimeError):
@@ -85,6 +98,7 @@ class FaultDirective:
     fp: Optional[str] = None
     ordinal: Optional[int] = None
     store: Optional[str] = None
+    worker: Optional[str] = None
     times: int = 1
     secs: float = 3600.0
     after: int = 1
@@ -92,6 +106,10 @@ class FaultDirective:
     def matches(self, name: str) -> bool:
         """Prefix match against a spec fingerprint or store entry name."""
         return self.fp is not None and name.startswith(self.fp)
+
+    def matches_worker(self, worker_id: str) -> bool:
+        """Prefix match against a fabric worker id (partition targeting)."""
+        return self.worker is not None and worker_id.startswith(self.worker)
 
     def to_text(self) -> str:
         parts = []
@@ -101,6 +119,8 @@ class FaultDirective:
             parts.append(f"spec={self.ordinal}")
         if self.store is not None:
             parts.append(f"store={self.store}")
+        if self.worker is not None:
+            parts.append(f"worker={self.worker}")
         if self.kind == "interrupt":
             parts.append(f"after={self.after}")
         parts.append(f"times={self.times}")
@@ -135,6 +155,8 @@ def parse_plan(text: str) -> List[FaultDirective]:
                     if value not in _STORES:
                         raise bad(f"unknown store {value!r}; options: {_STORES}")
                     d.store = value
+                elif key == "worker":
+                    d.worker = value
                 elif key == "times":
                     d.times = int(value)
                 elif key == "secs":
@@ -151,9 +173,13 @@ def parse_plan(text: str) -> List[FaultDirective]:
             raise bad(f"{d.kind} needs fp= or spec=")
         if d.kind in _STORE_KINDS:
             if d.store is None:
-                raise bad(f"{d.kind} needs store=results|memo")
+                raise bad(f"{d.kind} needs store={'|'.join(_STORES)}")
             if d.fp is None:
                 d.fp = ""  # empty prefix: first matching write
+        if d.kind == "partition" and d.worker is None:
+            d.worker = ""  # empty prefix: every worker
+        if d.kind == "dupdone" and d.fp is None and d.ordinal is None:
+            d.fp = ""  # empty prefix: first completion published
         directives.append(d)
     return directives
 
@@ -222,6 +248,31 @@ class FaultPlan:
                     path.write_text('{"corrupt": tru')
             except OSError:
                 pass
+
+    def on_heartbeat(self, worker_id: str) -> bool:
+        """Transport hook: True = suppress this heartbeat write.
+
+        Models a network partition / stalled worker: the worker believes
+        it is healthy and keeps executing, but its heartbeat never lands,
+        so its lease expires and the coordinator reassigns the batch —
+        the canonical duplicate-execution scenario the content-addressed
+        store must absorb.
+        """
+        for d in self.directives:
+            if d.kind != "partition" or not d.matches_worker(worker_id):
+                continue
+            if self._fire_if_due(d):
+                return True
+        return False
+
+    def on_done_publish(self, fingerprint: str) -> bool:
+        """Transport hook: True = publish this completion marker twice."""
+        for d in self.directives:
+            if d.kind != "dupdone" or not d.matches(fingerprint):
+                continue
+            if self._fire_if_due(d):
+                return True
+        return False
 
     def on_completion(self, done: int) -> None:
         """Parent-loop hook: deterministic mid-campaign interrupt."""
@@ -323,3 +374,15 @@ def on_completion(done: int) -> None:
     plan = active_plan()
     if plan is not None:
         plan.on_completion(done)
+
+
+def on_heartbeat(worker_id: str) -> bool:
+    """Module-level transport hook (False without an active plan)."""
+    plan = active_plan()
+    return plan is not None and plan.on_heartbeat(worker_id)
+
+
+def on_done_publish(fingerprint: str) -> bool:
+    """Module-level transport hook (False without an active plan)."""
+    plan = active_plan()
+    return plan is not None and plan.on_done_publish(fingerprint)

@@ -127,6 +127,43 @@ def test_bench_campaign_all_quick_warm(benchmark, quick_cfg):
     assert len(results) == N_EXPERIMENTS
 
 
+def _warm_disk_store(cfg: ExperimentConfig, monkeypatch, store) -> None:
+    """Prime an on-disk result store; rounds then replay from *disk*
+    (the memo is cleared per round), exercising the read path."""
+    monkeypatch.setenv("REPRO_RESULT_CACHE", str(store))
+    clear_result_memo()
+    run_all(cfg, n_workers=1)
+
+
+def test_bench_campaign_all_quick_warm_disk(
+    benchmark, quick_cfg, tmp_path, monkeypatch
+):
+    """Disk-replay cost with read verification *off*: the pre-integrity
+    read path (parse-and-serve), the denominator of
+    ``verified_read_overhead``."""
+    _warm_disk_store(quick_cfg, monkeypatch, tmp_path / "store")
+    monkeypatch.setenv("REPRO_VERIFY_READS", "0")
+    results = benchmark.pedantic(
+        _cold_run_all, args=(quick_cfg, 1), rounds=1, iterations=1
+    )
+    assert len(results) == N_EXPERIMENTS
+
+
+def test_bench_campaign_all_quick_warm_disk_verified(
+    benchmark, quick_cfg, tmp_path, monkeypatch
+):
+    """Disk-replay cost with read verification *on* (the default): every
+    served entry is digest-checked against its attestation sidecar.
+    ``BENCH_campaign.json`` commits the ratio to the row above as
+    ``verified_read_overhead``; `bench --check campaign` guards it."""
+    _warm_disk_store(quick_cfg, monkeypatch, tmp_path / "store")
+    monkeypatch.setenv("REPRO_VERIFY_READS", "1")
+    results = benchmark.pedantic(
+        _cold_run_all, args=(quick_cfg, 1), rounds=1, iterations=1
+    )
+    assert len(results) == N_EXPERIMENTS
+
+
 def test_campaign_dedupe_shrinks_plan(quick_cfg):
     """The merged plan must be strictly smaller than the sum of parts —
     the structural source of the ``all`` wall-clock win (runs shared by

@@ -218,6 +218,17 @@ def emit_campaign() -> int:
         summary["warm_cache_speedup_vs_cold"] = round(
             serial["mean_s"] / warm["mean_s"], 2
         )
+    warm_disk = benches.get("test_bench_campaign_all_quick_warm_disk", {})
+    warm_disk_verified = benches.get(
+        "test_bench_campaign_all_quick_warm_disk_verified", {}
+    )
+    if warm_disk.get("mean_s") and warm_disk_verified.get("mean_s"):
+        # What checking the bit-identical contract costs on the serve
+        # path: disk replay with attestation-digest verification on vs
+        # off (`REPRO_VERIFY_READS`).
+        summary["verified_read_overhead"] = round(
+            warm_disk_verified["mean_s"] / warm_disk["mean_s"], 3
+        )
     if serial.get("planned_runs") and serial.get("unique_runs"):
         summary["dedupe_runs_saved"] = (
             serial["planned_runs"] - serial["unique_runs"]
@@ -746,6 +757,71 @@ def check_simloop() -> int:
     return 0
 
 
+def check_campaign() -> int:
+    """CI smoke: verified reads must stay nearly free on the serve path.
+
+    Re-measures the warm-from-disk quick campaign in-process with
+    attestation-digest read verification off and on (memo cleared per
+    round so every result is actually read back from disk), taking the
+    min of two interleaved rounds per mode to shed runner noise.  The
+    contract is that verification costs under 5% end-to-end; the gate
+    adds a small noise margin on top of the committed
+    ``verified_read_overhead`` figure so shared runners cannot flake it,
+    while an accidental O(entry) verification scheme still fails loudly.
+    """
+    from repro.campaign.results import clear_result_memo
+    from repro.experiments.common import ExperimentConfig
+    from repro.experiments.runner import run_all
+
+    path = REPO_ROOT / "BENCH_campaign.json"
+    committed = (
+        json.loads(path.read_text())
+        .get("campaign_summary", {})
+        .get("verified_read_overhead")
+    )
+    cfg = ExperimentConfig(quick=True)
+    saved = {
+        k: os.environ.pop(k, None)
+        for k in ("REPRO_RESULT_CACHE", "REPRO_VERIFY_READS")
+    }
+    best = {"0": float("inf"), "1": float("inf")}
+    try:
+        with tempfile.TemporaryDirectory(prefix="repro-check-") as store:
+            os.environ["REPRO_RESULT_CACHE"] = store
+            clear_result_memo()
+            run_all(cfg, n_workers=1)  # prime the disk store
+            for _ in range(2):
+                for mode in ("0", "1"):
+                    os.environ["REPRO_VERIFY_READS"] = mode
+                    clear_result_memo()
+                    t0 = time.perf_counter()
+                    run_all(cfg, n_workers=1)
+                    best[mode] = min(
+                        best[mode], time.perf_counter() - t0
+                    )
+    finally:
+        for k, v in saved.items():
+            if v is None:
+                os.environ.pop(k, None)
+            else:
+                os.environ[k] = v
+        clear_result_memo()
+    overhead = best["1"] / best["0"]
+    ceiling = max(1.05, (committed or 1.0) + 0.05)
+    line = (
+        f"verified-read overhead {overhead:.3f}x (committed "
+        f"{committed if committed is not None else 'n/a'}, "
+        f"ceiling {ceiling:.3f}x; unverified {best['0']:.2f}s, "
+        f"verified {best['1']:.2f}s)"
+    )
+    print(line)
+    if overhead > ceiling:
+        print(f"FAIL: verified-read overhead blown: {line}", file=sys.stderr)
+        return 1
+    print("campaign check passed")
+    return 0
+
+
 EMITTERS: Dict[str, Callable[[], int]] = {
     "substrate": emit_substrate,
     "campaign": emit_campaign,
@@ -755,6 +831,7 @@ EMITTERS: Dict[str, Callable[[], int]] = {
 }
 
 CHECKS: Dict[str, Callable[[], int]] = {
+    "campaign": check_campaign,
     "localopt": check_localopt,
     "simloop": check_simloop,
 }

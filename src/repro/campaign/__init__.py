@@ -36,8 +36,26 @@ over a shared store behind a pluggable transport
 (:mod:`repro.campaign.transport` — shared filesystem or SSH), with the
 same bit-identical convergence guarantee under worker crashes,
 partitions, duplicate deliveries and torn lease writes.
+
+The bit-identical contract itself is *checked*, not assumed
+(:mod:`repro.campaign.attest`): every published result carries a digest
++ provenance sidecar, occupied-slot writes byte-compare before merging
+(different bytes = quarantined divergence event), done markers carry the
+worker's claimed digest for coordinator cross-checking (repeat offenders
+are demoted as suspect), and ``repro verify`` audits the store by digest
+sweep and deterministic-sample re-execution.
 """
 
+from repro.campaign.attest import (
+    ResultDivergenceError,
+    attestation_stats,
+    digest_text,
+    divergence_stats,
+    provenance_block,
+    read_attestation,
+    verify_store,
+    write_attestation,
+)
 from repro.campaign.database import clear_database_cache, get_database
 from repro.campaign.executor import (
     Campaign,
@@ -65,6 +83,7 @@ from repro.campaign.remote import (
 from repro.campaign.results import (
     cache_stats,
     clear_result_memo,
+    drop_memo_entry,
     prune_result_cache,
     quarantine_stats,
     result_cache_dir,
@@ -85,21 +104,28 @@ __all__ = [
     "CampaignJournal",
     "Fabric",
     "FileTransport",
+    "ResultDivergenceError",
     "ResultSet",
     "RunSpec",
     "SSHTransport",
     "SpecTimeout",
     "Transport",
+    "attestation_stats",
     "cache_stats",
     "clear_database_cache",
     "clear_result_memo",
+    "digest_text",
+    "divergence_stats",
+    "drop_memo_entry",
     "execute_spec",
     "fabric_status",
     "get_database",
     "journal_status",
     "protected_fingerprints",
+    "provenance_block",
     "prune_result_cache",
     "quarantine_stats",
+    "read_attestation",
     "remote_enabled",
     "resolve_campaign_workers",
     "result_cache_dir",
@@ -110,5 +136,7 @@ __all__ = [
     "run_worker",
     "spawn_local_workers",
     "transport_for",
+    "verify_store",
     "worker_attribution",
+    "write_attestation",
 ]

@@ -57,6 +57,7 @@ from contextlib import contextmanager
 from dataclasses import replace
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
+from repro.campaign.attest import ResultDivergenceError
 from repro.campaign.database import get_database
 from repro.campaign.journal import CampaignJournal
 from repro.campaign.results import (
@@ -251,7 +252,7 @@ def execute_spec(spec: RunSpec) -> SimResult:
     if hit is not None:
         return hit
     result = _simulate(spec)
-    store_result(spec.fingerprint, result)
+    store_result(spec.fingerprint, result, spec=spec)
     return result
 
 
@@ -336,6 +337,7 @@ class CampaignStats:
         retries: int = 0,
         pool_failures: int = 0,
         lease_expiries: int = 0,
+        divergences: int = 0,
     ):
         self.planned = planned
         self.unique = unique
@@ -345,6 +347,7 @@ class CampaignStats:
         self.retries = retries
         self.pool_failures = pool_failures
         self.lease_expiries = lease_expiries
+        self.divergences = divergences
 
     def summary(self) -> str:
         text = (
@@ -352,13 +355,20 @@ class CampaignStats:
             f"({self.simulated} simulated, {self.cached} cached) "
             f"on {self.workers} worker{'s' if self.workers != 1 else ''}"
         )
-        if self.retries or self.pool_failures or self.lease_expiries:
+        if (
+            self.retries
+            or self.pool_failures
+            or self.lease_expiries
+            or self.divergences
+        ):
             tallies = [
                 f"{self.retries} retries",
                 f"{self.pool_failures} pool failures",
             ]
             if self.lease_expiries:
                 tallies.append(f"{self.lease_expiries} lease expiries")
+            if self.divergences:
+                tallies.append(f"{self.divergences} divergences")
             text += f" [{', '.join(tallies)}]"
         return text
 
@@ -373,6 +383,7 @@ class _ExecState:
         self.attempts: Dict[str, int] = {}  # failed attempts per fp
         self.retries = 0
         self.pool_failures = 0
+        self.divergences = 0
         self.durations: List[float] = []
 
     def record_done(
@@ -386,6 +397,15 @@ class _ExecState:
 
     def record_failure(self, fp: str, exc: Exception, retries: int) -> bool:
         """Count one failed attempt; True when a retry is still allowed."""
+        if isinstance(exc, ResultDivergenceError):
+            # The bit-identical contract was violated: both byte versions
+            # are already quarantined, and retrying would just republish
+            # one of the contested versions — fail the spec loudly now.
+            self.divergences += 1
+            if self.journal is not None:
+                self.journal.divergence(fp, None, [exc.digest_a, exc.digest_b])
+            self.failures[fp] = repr(exc)
+            return False
         attempt = self.attempts.get(fp, 0) + 1
         self.attempts[fp] = attempt
         if self.journal is not None:
@@ -557,7 +577,7 @@ def _run_batched(specs: Sequence[RunSpec], state: _ExecState) -> None:
         share = (time.monotonic() - t0) / len(group)
         for spec, result in zip(group, results):
             fp = spec.fingerprint
-            store_result(fp, result)
+            store_result(fp, result, spec=spec)
             state.results[fp] = result
             state.record_done(fp, share)
             faults.on_completion(len(state.results))
@@ -815,6 +835,7 @@ class Campaign:
                 remote.lease_batch,
                 remote.remote_tick,
                 remote.remote_grace,
+                remote.suspect_strikes,
             ):
                 knob()
         specs = self.unique_specs
@@ -924,6 +945,7 @@ class Campaign:
             retries=state.retries,
             pool_failures=state.pool_failures,
             lease_expiries=getattr(state, "lease_expiries", 0),
+            divergences=state.divergences,
         )
         if native_stats_enabled() and results:
             print(

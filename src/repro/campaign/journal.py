@@ -31,6 +31,14 @@ Events (each line also carries a ``t`` wall-clock timestamp):
     The coordinator degraded to executing specs itself (no live workers).
 ``failed``
     One attempt failed (fingerprint, attempt number, error text).
+``divergence``
+    Duplicate executions of one spec produced *different bytes* (or a
+    done marker's claimed digest did not match the stored entry): the
+    bit-identical contract was violated, both versions were quarantined
+    under ``<store>/divergence/``.
+``worker_demoted``
+    One worker accumulated ``REPRO_SUSPECT_STRIKES`` divergence events
+    and was marked suspect; it stops claiming work.
 ``pool_failure``
     The process pool broke and was rebuilt (or execution degraded to
     serial).
@@ -149,6 +157,19 @@ class CampaignJournal:
     def fallback(self, reason: str, count: int) -> None:
         self._append("fallback", reason=reason, count=count)
 
+    def divergence(
+        self, fingerprint: str, worker: Optional[str], digests: List[str]
+    ) -> None:
+        self._append(
+            "divergence",
+            fp=fingerprint,
+            worker=worker or "local",
+            digests=digests,
+        )
+
+    def worker_demoted(self, worker: str, strikes: int) -> None:
+        self._append("worker_demoted", worker=worker, strikes=strikes)
+
     def complete(self, done: int, failed: int) -> None:
         self._append("complete", done=done, failed=failed)
 
@@ -204,6 +225,12 @@ def summarize_events(events: List[Dict]) -> Optional[Dict]:
     unique = begin.get("unique", 0)
     done_total = begin.get("cached", 0) + len(done_after)
     remote = any(ev["event"] == "remote_begin" for ev in events)
+    # Integrity tallies span the whole file, like failures: a divergence
+    # before a resume still violated the contract.
+    divergences = sum(1 for ev in events if ev["event"] == "divergence")
+    demoted_workers = sorted(
+        {ev["worker"] for ev in events if ev["event"] == "worker_demoted"}
+    )
     return {
         "runs": sum(1 for ev in events if ev["event"] == "begin"),
         "remote": remote,
@@ -217,6 +244,8 @@ def summarize_events(events: List[Dict]) -> Optional[Dict]:
         "interrupted": interrupted,
         "complete": complete is not None,
         "permanent_failures": complete.get("failed", 0) if complete else 0,
+        "divergences": divergences,
+        "demoted_workers": demoted_workers,
         "updated": max(ev.get("t", 0.0) for ev in events),
     }
 

@@ -18,6 +18,9 @@ everything lives as small files in the shared result store, under
     Per-worker heartbeat, atomically rewritten every ``ttl/4``.
 ``fabric/done/<fp>.json`` / ``fabric/failed/<fp>.<attempt>.json``
     Completion / failed-attempt markers the coordinator harvests.
+``fabric/suspects/<id>.json``
+    Workers the coordinator demoted after ``REPRO_SUSPECT_STRIKES``
+    divergence events; a demoted worker stops claiming work.
 
 A lease is *live* while its worker's heartbeat is fresher than
 ``REPRO_LEASE_TTL``; the coordinator breaks stale leases and the
@@ -26,7 +29,13 @@ execution it causes (a partitioned worker keeps running) — is always
 safe: specs are deterministic and results content-addressed, so every
 copy of an execution publishes the identical bytes and the merge is a
 no-op.  That single invariant, inherited from the PR 6 executor, is what
-lets the whole transport be this simple.
+lets the whole transport be this simple — and since PR 10 it is
+*checked*, not assumed: done markers carry the digest of the bytes the
+worker computed, the coordinator cross-checks it against the stored
+bytes before harvesting, and a mismatch quarantines the evidence,
+expires the lease for re-dispatch, and (after
+:func:`suspect_strikes` divergences from one worker) demotes the
+worker as suspect.
 
 Results flow through the existing crash-safe store path: file-transport
 workers point ``REPRO_RESULT_CACHE`` at the shared store so
@@ -60,15 +69,26 @@ import time
 from pathlib import Path
 from typing import Dict, List, Optional, Sequence, TYPE_CHECKING
 
+from repro.campaign.attest import (
+    _retire_entry,
+    attest_rel,
+    attestation_payload,
+    attestation_to_json,
+    digest_text,
+    read_attestation,
+    record_divergence,
+)
 from repro.campaign.results import (
     CACHE_ENV,
     cached_result,
+    drop_memo_entry,
     result_cache_dir,
     result_to_json,
 )
 from repro.campaign.spec import RunSpec
 from repro.campaign.transport import FileTransport, Transport, transport_for
 from repro.util import faults
+from repro.util.diskcache import read_text_guarded
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.campaign.executor import _ExecState
@@ -82,6 +102,7 @@ __all__ = [
     "REMOTE_GRACE_ENV",
     "REMOTE_TICK_ENV",
     "REMOTE_WORKERS_ENV",
+    "SUSPECT_STRIKES_ENV",
     "WORKER_ID_ENV",
     "fabric_status",
     "lease_batch",
@@ -93,6 +114,7 @@ __all__ = [
     "run_remote",
     "run_worker",
     "spawn_local_workers",
+    "suspect_strikes",
 ]
 
 #: Truthy = ``Campaign.run`` dispatches to the distributed fabric.
@@ -119,6 +141,11 @@ REMOTE_TICK_ENV = "REPRO_REMOTE_TICK"
 #: Worker id override (default ``w<pid>``); the coordinator sets it for
 #: the workers it spawns.
 WORKER_ID_ENV = "REPRO_WORKER_ID"
+
+#: Divergence events from one worker before the coordinator demotes it
+#: as suspect (default 2 — one divergence could be a disk fault local to
+#: that write; a pattern is a skewed worker).
+SUSPECT_STRIKES_ENV = "REPRO_SUSPECT_STRIKES"
 
 #: Worker id the coordinator claims under when degrading to local
 #: execution.
@@ -171,6 +198,10 @@ def remote_workers(default: int) -> int:
     return max(0, _env_int(REMOTE_WORKERS_ENV, default))
 
 
+def suspect_strikes() -> int:
+    return max(1, _env_int(SUSPECT_STRIKES_ENV, 2))
+
+
 class Fabric:
     """The lease protocol, expressed over a transport's six primitives.
 
@@ -206,6 +237,10 @@ class Fabric:
     @staticmethod
     def worker_path(worker: str) -> str:
         return f"fabric/workers/{worker}.json"
+
+    @staticmethod
+    def suspect_path(worker: str) -> str:
+        return f"fabric/suspects/{worker}.json"
 
     def _store_hook(self, store: str, name: str, rel: str) -> None:
         path = self.transport.local_path(rel)
@@ -302,12 +337,47 @@ class Fabric:
             if name.endswith(".json")
         ]
 
-    # -- completion / failure markers --------------------------------------
-    def publish_done(self, fp: str, worker: str, seconds: float) -> None:
-        """Written strictly *after* the result, so marker ⇒ result."""
-        payload = json.dumps(
-            {"worker": worker, "s": round(seconds, 6), "t": time.time()}
+    # -- suspects ----------------------------------------------------------
+    def demote(self, worker: str, strikes: int) -> None:
+        """Mark a worker suspect; it stops claiming work when it notices.
+
+        Sticky by design: :meth:`clear` leaves suspect markers in place,
+        so a worker demoted in one campaign stays demoted for the next
+        campaign on the same store until an operator clears it.
+        """
+        self.transport.put(
+            self.suspect_path(worker),
+            json.dumps(
+                {"worker": worker, "strikes": strikes, "t": time.time()}
+            ),
         )
+
+    def is_suspect(self, worker: str) -> bool:
+        return self.transport.get(self.suspect_path(worker)) is not None
+
+    def suspects(self) -> List[str]:
+        return [
+            name[:-5]
+            for name in self.transport.listdir("fabric/suspects")
+            if name.endswith(".json")
+        ]
+
+    # -- completion / failure markers --------------------------------------
+    def publish_done(
+        self, fp: str, worker: str, seconds: float, digest: Optional[str] = None
+    ) -> None:
+        """Written strictly *after* the result, so marker ⇒ result.
+
+        ``digest`` is the worker's claim about the bytes it computed —
+        the coordinator cross-checks it against the stored entry before
+        harvesting, so a store poisoned between compute and harvest is
+        rejected rather than merged.  Markers without a digest (older
+        workers) are accepted unverified.
+        """
+        fields = {"worker": worker, "s": round(seconds, 6), "t": time.time()}
+        if digest is not None:
+            fields["digest"] = digest
+        payload = json.dumps(fields)
         self.transport.put(self.done_path(fp), payload)
         self._store_hook("done", fp, self.done_path(fp))
         if faults.on_done_publish(fp):
@@ -368,6 +438,11 @@ class Fabric:
     def put_result(self, fp: str, text: str) -> bool:
         return self.transport.put(f"{fp}.json", text)
 
+    def put_attestation(self, fp: str, text: str) -> bool:
+        """Push a result's attestation sidecar (SSH-transport workers —
+        file-transport workers write it through ``store_result``)."""
+        return self.transport.put(attest_rel(fp), text)
+
     # -- cleanup -----------------------------------------------------------
     def clear(self, fps: Sequence[str]) -> None:
         """Remove this campaign's fabric files (heartbeats are left —
@@ -413,7 +488,22 @@ def fabric_status(store_root: Path) -> Dict:
                 "live": age is not None and age <= ttl,
             }
         )
-    return {"workers": workers, "leases": leases, "ttl": ttl}
+    suspects = {}
+    for worker in fabric.suspects():
+        text = fabric.transport.get(fabric.suspect_path(worker))
+        strikes = None
+        if text is not None:
+            try:
+                strikes = json.loads(text).get("strikes")
+            except json.JSONDecodeError:
+                pass
+        suspects[worker] = strikes
+    return {
+        "workers": workers,
+        "leases": leases,
+        "ttl": ttl,
+        "suspects": suspects,
+    }
 
 
 # ---------------------------------------------------------------------------
@@ -451,12 +541,19 @@ def _worker_execute(
                 return False
             time.sleep(base * (2.0 ** (attempt - 1)))
             continue
+        text = result_to_json(result)
         if fabric.transport.local_path(f"{fp}.json") is None:
             # Remote store: execute_spec published to the worker-local
             # cache only — push the bytes through the transport's atomic
-            # publish before the marker that advertises them.
-            fabric.put_result(fp, result_to_json(result))
-        fabric.publish_done(fp, worker, time.monotonic() - t0)
+            # publish (sidecar first, same ordering as store_result)
+            # before the marker that advertises them.
+            fabric.put_attestation(
+                fp, attestation_to_json(attestation_payload(fp, text, spec=spec))
+            )
+            fabric.put_result(fp, text)
+        fabric.publish_done(
+            fp, worker, time.monotonic() - t0, digest=digest_text(text)
+        )
         fabric.release(fp)
         return True
 
@@ -507,6 +604,11 @@ def run_worker(
     idle_since = time.monotonic()
     try:
         while True:
+            if fabric.is_suspect(worker_id):
+                # The coordinator demoted us after repeated divergences:
+                # stop claiming work — anything we publish would be
+                # rejected at harvest anyway.
+                break
             claimed: List[str] = []
             done = set(fabric.done_fps())
             for fp in fabric.tasks():
@@ -630,7 +732,9 @@ def _coordinator_execute(
         seconds = time.monotonic() - t0
         state.results[fp] = result
         state.record_done(fp, seconds, worker=COORDINATOR_ID)
-        fabric.publish_done(fp, COORDINATOR_ID, seconds)
+        fabric.publish_done(
+            fp, COORDINATOR_ID, seconds, digest=digest_text(result_to_json(result))
+        )
         fabric.release(fp)
         faults.on_completion(len(state.results))
         return
@@ -677,6 +781,9 @@ def run_remote(
     )
     seen_claims: set = set()
     seen_failures: set = set()
+    strikes: Dict[str, int] = {}
+    demoted: set = set(fabric.suspects())  # sticky across campaigns
+    k_strikes = suspect_strikes()
     fell_back = False
     last_progress = time.monotonic()
     try:
@@ -699,10 +806,53 @@ def run_remote(
             # 2. Harvest completions.  A marker for an already-merged
             # fingerprint (duplicate delivery, re-executed expired lease)
             # is skipped — the dedup the content-address contract promises.
+            # Markers that claim a digest are cross-checked against the
+            # *disk* bytes first (not the memo, which may hold the clean
+            # result the worker computed before the store was poisoned).
             for fp in fabric.done_fps():
                 if fp not in pending:
                     continue
                 marker = fabric.read_done(fp) or {}
+                worker = marker.get("worker")
+                claimed = marker.get("digest")
+                stored = (
+                    read_text_guarded(root / f"{fp}.json")
+                    if isinstance(claimed, str)
+                    else None
+                )
+                if stored is not None and digest_text(stored) != claimed:
+                    # Divergence: the store holds bytes the completing
+                    # worker did not compute.  Quarantine the evidence,
+                    # reject the marker, and reassign the work; repeated
+                    # offenders are demoted as suspect.
+                    record_divergence(
+                        root,
+                        fp,
+                        versions=[("stored", stored, read_attestation(root, fp))],
+                        reason="done marker digest mismatch",
+                        worker=worker,
+                        claimed_digest=claimed,
+                    )
+                    _retire_entry(root, fp)
+                    drop_memo_entry(fp)
+                    state.divergences += 1
+                    if journal is not None:
+                        journal.divergence(
+                            fp, worker, [claimed, digest_text(stored)]
+                        )
+                    fabric.transport.delete(fabric.done_path(fp))
+                    fabric.break_lease(fp)
+                    if isinstance(worker, str) and worker != COORDINATOR_ID:
+                        strikes[worker] = strikes.get(worker, 0) + 1
+                        if (
+                            strikes[worker] >= k_strikes
+                            and worker not in demoted
+                        ):
+                            demoted.add(worker)
+                            fabric.demote(worker, strikes[worker])
+                            if journal is not None:
+                                journal.worker_demoted(worker, strikes[worker])
+                    continue
                 result = cached_result(fp)
                 if result is None:
                     # Marker without a readable result (torn marker racing
@@ -716,7 +866,7 @@ def run_remote(
                 state.record_done(
                     fp,
                     float(marker.get("s", 0.0)),
-                    worker=marker.get("worker"),
+                    worker=worker,
                 )
                 progressed = True
                 faults.on_completion(len(state.results))
@@ -740,11 +890,19 @@ def run_remote(
                     state.retries += 1
 
             # 4. Expire stale leases: worker heartbeat (or, for a torn
-            # lease, the lease file itself) older than the TTL.
+            # lease, the lease file itself) older than the TTL.  Leases
+            # held by demoted workers are broken immediately — their
+            # results would be rejected at harvest anyway.
             for fp in leased:
                 if fp not in pending:
                     continue
                 worker = fabric.lease_worker(fp)
+                if worker is not None and worker in demoted:
+                    if fabric.break_lease(fp):
+                        state.lease_expiries += 1
+                        if journal is not None:
+                            journal.lease_expired(worker, fp)
+                    continue
                 age = (
                     fabric.heartbeat_age(worker)
                     if worker is not None
@@ -768,7 +926,9 @@ def run_remote(
                 live = any(
                     (a := fabric.heartbeat_age(w)) is not None and a <= ttl
                     for w in fabric.workers()
-                    if w != COORDINATOR_ID
+                    # Demoted workers may still heartbeat until they
+                    # notice; they no longer count as capacity.
+                    if w != COORDINATOR_ID and w not in demoted
                 )
                 claimable = [
                     fp

@@ -18,6 +18,14 @@ bump mtime, so a long campaign's working set survives while abandoned
 fingerprints — old seeds, stale result versions — age out).  The cap is
 enforced after every campaign (:meth:`repro.campaign.Campaign.run`) and
 on demand via ``python -m repro cache --prune``.
+
+The store is *attested* (:mod:`repro.campaign.attest`): every publish
+writes a digest + provenance sidecar under ``<store>/attest/``, a write
+to an occupied fingerprint byte-compares before touching anything
+(identical bytes are the normal duplicate-execution merge; different
+bytes are a divergence event — both versions quarantined under
+``<store>/divergence/``, the spec failed loudly), and reads re-verify
+the digest so valid-JSON bit rot is caught instead of served.
 """
 
 from __future__ import annotations
@@ -27,6 +35,20 @@ import os
 from pathlib import Path
 from typing import Dict, Optional
 
+from repro.campaign.attest import (
+    ATTEST_DIRNAME,
+    ResultDivergenceError,
+    attestation_payload,
+    attestation_stats,
+    digest_text,
+    divergence_stats,
+    quarantine_attestation,
+    read_attestation,
+    record_divergence,
+    verify_reads_enabled,
+    write_attestation,
+)
+from repro.campaign.spec import RunSpec
 from repro.config import CoreSize, Setting
 from repro.power.energy import EnergyBreakdown
 from repro.simulator.metrics import SettingChange, SimResult
@@ -45,6 +67,7 @@ __all__ = [
     "cache_stats",
     "cached_result",
     "clear_result_memo",
+    "drop_memo_entry",
     "memo_size",
     "memoize_result",
     "prune_result_cache",
@@ -163,6 +186,18 @@ def cached_result(fingerprint: str) -> Optional[SimResult]:
     text = read_text_guarded(file)
     if text is None:
         return None
+    if verify_reads_enabled():
+        attestation = read_attestation(root, fingerprint)
+        if attestation is not None and attestation.get("digest") != digest_text(
+            text
+        ):
+            # The bytes no longer match what their own attestation says
+            # was published — bit rot (or in-place tampering) that may
+            # still parse as perfectly valid JSON.  Quarantine entry and
+            # sidecar together and let the caller resimulate.
+            quarantine_entry(file, root)
+            quarantine_attestation(root, fingerprint)
+            return None
     try:
         result = result_from_json(text)
     except (KeyError, TypeError, ValueError, json.JSONDecodeError):
@@ -171,6 +206,7 @@ def cached_result(fingerprint: str) -> Optional[SimResult]:
         # visible via ``repro cache`` — instead of silently re-parsing a
         # broken file on every probe, and let the caller resimulate.
         quarantine_entry(file, root)
+        quarantine_attestation(root, fingerprint)
         return None
     # LRU bump: eviction is by mtime, so a hit marks the file used.
     bump_mtime(file)
@@ -184,19 +220,91 @@ def memoize_result(fingerprint: str, result: SimResult) -> None:
     _MEMO[fingerprint] = result
 
 
-def store_result(fingerprint: str, result: SimResult) -> None:
-    """Record a result in the memo and (best-effort, atomically) on disk."""
-    _MEMO[fingerprint] = result
+def store_result(
+    fingerprint: str, result: SimResult, spec: Optional[RunSpec] = None
+) -> None:
+    """Record a result in the memo and (attested, atomically) on disk.
+
+    An occupied on-disk slot is byte-compared first — never blindly
+    overwritten.  Identical bytes are the normal duplicate-execution
+    merge (the slot just gets its LRU bump and, if missing, a sidecar).
+    Different bytes are a *divergence event*: both versions are
+    quarantined with their provenance under ``<store>/divergence/``,
+    the slot is emptied (neither version can be trusted) and
+    :class:`~repro.campaign.attest.ResultDivergenceError` is raised so
+    the spec fails loudly.  One exception: an occupant that fails its
+    *own* attestation digest is rotten, not a second live computation —
+    it is quarantined as corruption and the incoming bytes publish.
+
+    ``spec`` (when the caller has it) is embedded in the attestation
+    sidecar so ``repro verify`` can later re-execute the entry.
+    """
+    text = result_to_json(result)
     root = result_cache_dir()
     if root is not None:
         path = root / f"{fingerprint}.json"
-        if atomic_write_text(path, result_to_json(result)):
+        existing = read_text_guarded(path)
+        if existing is not None and existing != text:
+            attestation = read_attestation(root, fingerprint)
+            if attestation is not None and attestation.get(
+                "digest"
+            ) != digest_text(existing):
+                # Rot superseded: the occupant cannot even vouch for
+                # itself, so this is corruption evidence, not a rival
+                # computation.
+                quarantine_entry(path, root)
+                quarantine_attestation(root, fingerprint)
+            else:
+                record_divergence(
+                    root,
+                    fingerprint,
+                    versions=[
+                        ("stored", existing, attestation),
+                        (
+                            "incoming",
+                            text,
+                            attestation_payload(fingerprint, text, spec=spec),
+                        ),
+                    ],
+                    reason="duplicate execution produced different bytes",
+                )
+                for stale in (path, root / ATTEST_DIRNAME / f"{fingerprint}.json"):
+                    try:
+                        stale.unlink()
+                    except OSError:
+                        pass
+                _MEMO.pop(fingerprint, None)
+                raise ResultDivergenceError(
+                    fingerprint, digest_text(existing), digest_text(text)
+                )
+        _MEMO[fingerprint] = result
+        if existing == text:
+            # Duplicate execution converged, as the contract demands:
+            # the merge is a no-op plus an LRU bump.  Backfill the
+            # sidecar for entries published by pre-attestation code.
+            bump_mtime(path)
+            if read_attestation(root, fingerprint) is None:
+                write_attestation(root, fingerprint, text, spec=spec)
+            return
+        # Sidecar first, entry second: any visible entry already has its
+        # digest on disk, so a reader (or the coordinator's marker
+        # cross-check) can always verify what it just read.
+        write_attestation(root, fingerprint, text, spec=spec)
+        if atomic_write_text(path, text):
             faults.on_store_write("results", fingerprint, path)
+        return
+    _MEMO[fingerprint] = result
 
 
 def clear_result_memo() -> None:
     """Drop the in-memory memo (tests/benchmarks; disk is untouched)."""
     _MEMO.clear()
+
+
+def drop_memo_entry(fingerprint: str) -> None:
+    """Forget one memoised result (a retired/contested entry must not
+    keep answering probes from memory)."""
+    _MEMO.pop(fingerprint, None)
 
 
 def memo_size() -> int:
@@ -209,18 +317,52 @@ def result_cache_max_mb() -> Optional[float]:
 
 
 def cache_stats() -> Dict[str, float]:
-    """On-disk store shape: file count, size and quarantined-entry count."""
-    stats = dir_stats(result_cache_dir())
+    """On-disk store shape: entry count/size, quarantine tallies and
+    attestation coverage.
+
+    ``quarantined`` counts single-version corruption captures
+    (``quarantine/``); ``divergence_events`` counts quarantined
+    divergence evidence (``divergence/``) — deliberately separate
+    tallies, because rot and contract violations have different causes
+    and different remedies.
+    """
+    root = result_cache_dir()
+    stats = dir_stats(root)
     stats["quarantined"] = quarantine_stats()["files"]
+    attest = attestation_stats(root)
+    stats["attested"] = attest["attested"]
+    stats["attestation_coverage"] = attest["coverage"]
+    stats["divergence_events"] = divergence_stats(root)["events"]
     return stats
 
 
 def quarantine_stats() -> Dict[str, float]:
-    """Shape of the corrupt-entry quarantine (``<store>/quarantine/``)."""
+    """Shape of the corrupt-entry quarantine (``<store>/quarantine/``).
+
+    Counts damaged *entries* only: the ``.attest.json`` sidecars that
+    ride along as evidence of what the bytes should have been are
+    excluded, so one quarantined result always counts as one file.
+    """
     root = result_cache_dir()
-    return dir_stats(
+    stats = dir_stats(
         root / "quarantine" if root is not None else None, "*", protect=False
     )
+    if root is None:
+        return stats
+    qdir = root / "quarantine"
+    if not qdir.is_dir():
+        return stats
+    for file in qdir.glob("*.attest.json*"):
+        try:
+            if not file.is_file():
+                continue
+            size = file.stat().st_size
+        except OSError:
+            continue
+        stats["files"] -= 1
+        stats["bytes"] -= size
+    stats["mb"] = stats["bytes"] / (1024 * 1024)
+    return stats
 
 
 def prune_result_cache(max_mb: Optional[float] = None) -> Dict[str, float]:
@@ -234,11 +376,30 @@ def prune_result_cache(max_mb: Optional[float] = None) -> Dict[str, float]:
     Entries an in-flight (resumable, not-yet-complete) campaign journal
     has recorded as done are exempt: evicting them would silently turn
     checkpointed progress back into pending simulation on resume.
-    Returns eviction accounting (files/bytes removed, files/bytes kept).
+    Divergence evidence (``divergence/``) is never evicted — it lives
+    outside the pruned namespace by construction — and an evicted
+    entry's attestation sidecar goes with it (orphan sidecars would
+    inflate coverage and leak disk).  Returns eviction accounting
+    (files/bytes removed/kept, plus orphan sidecars cleaned).
     """
     from repro.campaign.journal import protected_fingerprints
 
     if max_mb is None:
         max_mb = result_cache_max_mb()
     root = result_cache_dir()
-    return prune_lru(root, max_mb, protected_stems=protected_fingerprints(root))
+    outcome = prune_lru(
+        root, max_mb, protected_stems=protected_fingerprints(root)
+    )
+    outcome["removed_sidecars"] = 0
+    if root is not None:
+        adir = root / ATTEST_DIRNAME
+        if adir.is_dir():
+            for sidecar in adir.glob("*.json"):
+                if (root / sidecar.name).exists():
+                    continue
+                try:
+                    sidecar.unlink()
+                except OSError:
+                    continue
+                outcome["removed_sidecars"] += 1
+    return outcome

@@ -13,6 +13,8 @@ Usage::
     python -m repro ext-scaling --wave scalar    # event-loop oracle mode
     python -m repro cache                  # result-store + local-memo stats
     python -m repro cache --prune --max-mb 256   # LRU-evict to 256 MiB
+    python -m repro verify                 # attestation coverage + digests
+    python -m repro verify --sample 8      # ... plus re-execution audit
     python -m repro campaign --status      # journaled campaign progress
     python -m repro all --quick --remote --remote-workers 2  # fabric run
     python -m repro campaign --work --store /shared/results  # fabric worker
@@ -32,7 +34,12 @@ the persistent local-decision memo named by ``REPRO_LOCAL_MEMO`` (cap:
 reports progress, retries and failure tallies from the crash-safe run
 journals kept under the result store (interrupted campaigns resume by
 re-running the same command), plus per-worker attribution and live/stale
-lease state for distributed runs.  ``--remote`` dispatches a campaign
+lease state for distributed runs.  ``verify`` audits the result store's
+integrity layer (:mod:`repro.campaign.attest`): attestation coverage, a
+digest sweep of every entry, and — with ``--sample N`` — deterministic
+re-execution of N stored fingerprints whose bytes must match the store
+(``--cross-mode`` re-executes each sampled spec in every event-loop mode).
+``--remote`` dispatches a campaign
 through the lease-based distributed fabric (:mod:`repro.campaign.remote`)
 and ``campaign --work`` turns this process into a fabric worker against a
 shared store (a directory, or ``ssh://host/path``).
@@ -69,7 +76,8 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "experiment",
         help=(
-            "experiment name, 'all', 'list', 'cache', 'campaign', or 'bench'"
+            "experiment name, 'all', 'list', 'cache', 'verify', "
+            "'campaign', or 'bench'"
         ),
     )
     parser.add_argument("--quick", action="store_true", help="shrunk quick mode")
@@ -207,6 +215,28 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     parser.add_argument(
+        "--sample",
+        type=int,
+        nargs="?",
+        const=4,
+        default=0,
+        metavar="N",
+        help=(
+            "with 'verify': re-execute a deterministic sample of N "
+            "stored fingerprints (bare --sample: 4) and byte-compare "
+            "against the store"
+        ),
+    )
+    parser.add_argument(
+        "--cross-mode",
+        action="store_true",
+        help=(
+            "with 'verify --sample': re-execute each sampled spec in "
+            "every event-loop mode (native/step/scalar) — all must "
+            "reproduce the stored bytes"
+        ),
+    )
+    parser.add_argument(
         "--emit",
         default=None,
         metavar="NAME",
@@ -298,12 +328,18 @@ def _cache_command(prune: bool, max_mb: float | None) -> int:
             continue
         if prune:
             outcome = prune_fn(override_mb)
-            print(
+            line = (
                 f"{name}: pruned {outcome['removed_files']} entries "
                 f"({outcome['removed_bytes'] / 1048576:.1f} MiB); "
                 f"kept {outcome['kept_files']} "
                 f"({outcome['kept_bytes'] / 1048576:.1f} MiB) in {root}"
             )
+            if outcome.get("removed_sidecars"):
+                line += (
+                    f"; {outcome['removed_sidecars']} orphaned "
+                    f"attestation sidecars removed"
+                )
+            print(line)
             continue
         stats = stats_fn()
         cap = override_mb if override_mb is not None else cap_fn()
@@ -312,10 +348,40 @@ def _cache_command(prune: bool, max_mb: float | None) -> int:
             f"{name} @ {root}: {stats['files']:.0f} entries, "
             f"{stats['mb']:.1f} MiB (cap: {cap_text})"
         )
+        if "attested" in stats:
+            line += (
+                f"; attested {stats['attested']:.0f}/{stats['files']:.0f} "
+                f"({stats['attestation_coverage'] * 100.0:.1f}%)"
+            )
         if stats.get("quarantined"):
             line += f"; {stats['quarantined']:.0f} quarantined"
+        if stats.get("divergence_events"):
+            # Divergence evidence is counted apart from corrupt-entry
+            # quarantine: contested bytes, not damaged ones.
+            line += (
+                f"; {stats['divergence_events']:.0f} divergence events "
+                f"(never pruned)"
+            )
         print(line)
     return 0
+
+
+def _verify_command(args) -> int:
+    """Audit the result store's integrity layer (``repro verify``)."""
+    from repro.campaign.attest import verify_store
+    from repro.campaign.results import CACHE_ENV, result_cache_dir
+
+    root = result_cache_dir()
+    if root is None:
+        print(f"nothing to verify ({CACHE_ENV} is unset)", file=sys.stderr)
+        return 2
+    report = verify_store(
+        root,
+        sample=args.sample,
+        cross_mode=args.cross_mode,
+        seed=args.seed,
+    )
+    return 1 if report["divergences"] else 0
 
 
 def _worker_command(args) -> int:
@@ -382,11 +448,15 @@ def _campaign_command(args) -> int:
             )
         if s["pool_failures"]:
             tallies.append(f"{s['pool_failures']} pool failures")
+        if s.get("divergences"):
+            tallies.append(f"{s['divergences']} divergences")
         if s["runs"] > 1:
             tallies.append(f"{s['runs']} runs")
         if tallies:
             line += f" [{', '.join(tallies)}]"
         print(line)
+        for worker in s.get("demoted_workers", ()):
+            print(f"  worker {worker}: DEMOTED (divergent results)")
         attribution = worker_attribution(read_journal(Path(s["path"])))
         if s.get("remote") or len(attribution) > 1:
             now = time.time()
@@ -401,15 +471,29 @@ def _campaign_command(args) -> int:
                     parts.append(f"last seen {max(0.0, now - w['last_t']):.0f}s ago")
                 print(f"  worker {worker}: {', '.join(parts)}")
     fabric = fabric_status(root)
-    if fabric["workers"] or fabric["leases"]:
+    if fabric["workers"] or fabric["leases"] or fabric.get("suspects"):
         print(f"fabric (lease TTL {fabric['ttl']:g}s):")
         for worker in sorted(fabric["workers"]):
             w = fabric["workers"][worker]
             age = w["heartbeat_age"]
+            flags = "live" if w["live"] else "stale"
+            if worker in fabric.get("suspects", {}):
+                flags += ", SUSPECT"
             print(
-                f"  worker {worker}: "
-                f"{'live' if w['live'] else 'stale'}"
+                f"  worker {worker}: {flags}"
                 + (f", heartbeat {age:.0f}s ago" if age is not None else "")
+            )
+        for worker in sorted(fabric.get("suspects", {})):
+            if worker in fabric["workers"]:
+                continue
+            strikes = fabric["suspects"][worker]
+            print(
+                f"  worker {worker}: SUSPECT"
+                + (
+                    f" ({strikes} divergence strikes)"
+                    if strikes is not None
+                    else ""
+                )
             )
         for lease in fabric["leases"]:
             print(
@@ -442,6 +526,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         return 0
     if args.experiment == "cache":
         return _cache_command(args.prune, args.max_mb)
+    if args.experiment == "verify":
+        return _verify_command(args)
     if args.experiment == "campaign":
         return _campaign_command(args)
 

@@ -29,10 +29,12 @@ __all__ = [
 ]
 
 #: Store sub-directories that hold bookkeeping, not cache entries: the
-#: campaign run journal, quarantined corrupt entries and the distributed
-#: campaign fabric (tasks/leases/worker registry).  LRU pruning and size
-#: accounting must never touch them.
-PROTECTED_DIRS = ("journal", "quarantine", "fabric")
+#: campaign run journal, quarantined corrupt entries, the distributed
+#: campaign fabric (tasks/leases/worker registry), attestation sidecars
+#: and quarantined divergence evidence.  LRU pruning and size accounting
+#: must never touch them — divergence evidence in particular is
+#: post-mortem state that no cache policy may evict.
+PROTECTED_DIRS = ("journal", "quarantine", "fabric", "attest", "divergence")
 
 
 def parse_max_mb(env_name: str) -> Optional[float]:

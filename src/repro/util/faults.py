@@ -11,6 +11,10 @@ semicolon-separated list of directives::
     hang:fp=ab12,secs=30             # sleep 30 s (the spec timeout's prey)
     truncate:store=results,fp=       # truncate the next result-store write
     corrupt:store=memo,fp=           # garbage the next local-memo write
+    divergent:store=results,fp=      # perturb the published bytes: still
+                                     # valid JSON, different values (the
+                                     # skewed-worker poison the attestation
+                                     # layer exists to catch)
     interrupt:after=2                # KeyboardInterrupt after 2 completions
     partition:worker=w1,times=3      # suppress 3 heartbeats of worker w1*
     dupdone:fp=ab12                  # publish that completion marker twice
@@ -31,6 +35,16 @@ completion marker a second time (duplicate delivery).  ``truncate`` /
 ``corrupt`` additionally accept ``store=lease`` and ``store=done`` to
 tear the fabric's lease-claim and completion-marker writes.
 
+``divergent`` models a worker whose published bytes silently differ
+from what it computed (skewed toolchain, flipped bit between compute
+and publish): the just-written entry is rewritten with one float
+nudged — still perfectly parseable, caught only by the digest and
+byte-compare checks of :mod:`repro.campaign.attest`.  Store kinds also
+accept ``worker=<prefix>`` to fire only in fabric-worker processes
+whose ``REPRO_WORKER_ID`` matches — that is how a test pins the poison
+to one worker of a multi-worker run (and how the coordinator's K-strike
+demotion is exercised deterministically).
+
 Fires are counted in a *ledger* directory (``REPRO_FAULT_LEDGER``) as one
 marker file per fire, recorded durably **before** the fault executes —
 that is what keeps a ``crash`` directive from killing every retry and
@@ -45,6 +59,7 @@ production fast path stays fault-free and overhead-free.
 
 from __future__ import annotations
 
+import json
 import os
 import tempfile
 import time
@@ -79,7 +94,7 @@ LEDGER_ENV = "REPRO_FAULT_LEDGER"
 CRASH_EXIT_CODE = 13
 
 _SPEC_KINDS = ("crash", "fail", "hang")
-_STORE_KINDS = ("truncate", "corrupt")
+_STORE_KINDS = ("truncate", "corrupt", "divergent")
 _TRANSPORT_KINDS = ("partition", "dupdone")
 _KINDS = _SPEC_KINDS + _STORE_KINDS + _TRANSPORT_KINDS + ("interrupt",)
 _STORES = ("results", "memo", "lease", "done")
@@ -233,9 +248,16 @@ class FaultPlan:
             time.sleep(d.secs)  # hang; the spec timeout's prey
 
     def on_store_write(self, store: str, name: str, path: Path) -> None:
-        """Store hook: may truncate or corrupt the just-published entry."""
+        """Store hook: may truncate, corrupt or diverge the published entry."""
         for d in self.directives:
             if d.kind not in _STORE_KINDS or d.store != store:
+                continue
+            if d.worker is not None and not (
+                # Store kinds accept worker= so a multi-worker test can pin
+                # the poison to one fabric worker; coordinator and other
+                # workers (different REPRO_WORKER_ID, or none) skip it.
+                os.environ.get("REPRO_WORKER_ID", "")
+            ).startswith(d.worker):
                 continue
             if not d.matches(name) or not self._fire_if_due(d):
                 continue
@@ -244,6 +266,8 @@ class FaultPlan:
                     size = path.stat().st_size
                     with open(path, "r+b") as fh:
                         fh.truncate(size // 2)
+                elif d.kind == "divergent":
+                    _perturb_entry(path)
                 else:
                     path.write_text('{"corrupt": tru')
             except OSError:
@@ -286,6 +310,40 @@ class FaultPlan:
 
     def to_text(self) -> str:
         return ";".join(d.to_text() for d in self.directives)
+
+
+def _perturb_entry(path: Path) -> None:
+    """Nudge the first float of a JSON entry by +1.0 and rewrite it.
+
+    The result stays perfectly parseable — unlike ``truncate`` and
+    ``corrupt`` it models *silently wrong values* (a skewed worker), the
+    failure mode only the attestation digest / byte-compare layer sees.
+    """
+    try:
+        payload = json.loads(path.read_text())
+    except (OSError, ValueError):
+        return
+
+    def nudge(node):  # first float wins, depth-first
+        if isinstance(node, dict):
+            for key, value in node.items():
+                hit, value = nudge(value)
+                if hit:
+                    node[key] = value
+                    return True, node
+        elif isinstance(node, list):
+            for i, value in enumerate(node):
+                hit, value = nudge(value)
+                if hit:
+                    node[i] = value
+                    return True, node
+        elif isinstance(node, float):
+            return True, node + 1.0
+        return False, node
+
+    hit, payload = nudge(payload)
+    if hit:
+        path.write_text(json.dumps(payload))
 
 
 #: Parse cache keyed on (plan text, ledger) — plans are tiny, but the
